@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``test_table*`` / ``test_fig*`` regenerates one table or figure of the
+paper.  Rendered results are printed and also written to
+``benchmarks/results/`` so they survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+    print("\n" + text + "\n")

@@ -1,0 +1,46 @@
+"""Figure 7: sensitivity to the InfoNCE temperature τ (Eq. 15-16).
+
+The paper sweeps τ over {0.05, 0.1, 0.5, 1, 5} and observes performance
+rising then falling with a turning point at τ = 0.1: a small temperature
+sharpens the discrimination between positive and negative SSL samples, while
+a large one washes the signal out.  Shape to reproduce: the best τ is well
+below 1 on every dataset, and large τ clearly underperforms it.
+"""
+
+from repro.bench import miss_model_factory, render_series, run_cell
+
+from .helpers import save_result
+
+FIG_DATASETS = ("amazon-cds",)
+TEMPERATURES = (0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+def _build_series():
+    curves = {}
+    for dataset in FIG_DATASETS:
+        aucs = []
+        for tau in TEMPERATURES:
+            cache_name = "MISS" if tau == 0.1 else f"MISS@t{tau}"
+            cell = run_cell(cache_name,
+                            miss_model_factory("DIN", {"temperature": tau}),
+                            dataset)
+            aucs.append(cell.auc)
+        curves[dataset] = aucs
+    return curves
+
+
+def test_fig07_temperature(benchmark):
+    curves = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    text = render_series("Figure 7: AUC vs InfoNCE temperature τ",
+                         "tau", TEMPERATURES, curves)
+    save_result("fig07_temperature.txt", text)
+
+    for dataset, aucs in curves.items():
+        by_tau = dict(zip(TEMPERATURES, aucs))
+        best_tau = max(by_tau, key=by_tau.get)
+        # The optimum temperature is well below 1 (the paper finds 0.1).
+        assert best_tau < 1.0, (
+            f"expected a small optimal τ on {dataset}, got {best_tau}")
+        # Washing out the softmax (τ = 5) clearly underperforms the optimum.
+        assert by_tau[best_tau] > by_tau[5.0] + 0.002, (
+            f"τ=5 should weaken the SSL signal on {dataset}")

@@ -1,0 +1,43 @@
+"""Table III: dataset statistics of the three simulated worlds.
+
+The paper reports #Users, #Items, #Instances, #Features, #Fields for
+Amazon-Cds, Amazon-Books, and Alipay.  Absolute counts are scaled down (the
+simulator is laptop-sized); the structural invariants — field counts of
+5/5/7, #Instances = 2 × #Users, and the size ordering of the three worlds —
+must match the paper exactly.
+"""
+
+from repro.bench import bench_dataset
+from repro.data import DATASET_NAMES, compute_stats
+
+from .helpers import save_result
+
+
+def _build_table() -> tuple[str, list]:
+    stats = [compute_stats(bench_dataset(name, seed=0)) for name in DATASET_NAMES]
+    header = (f"{'Dataset':<14}{'#Users':>10}{'#Items':>10}"
+              f"{'#Instances':>12}{'#Features':>12}{'#Fields':>9}")
+    lines = ["Table III: dataset statistics (simulated worlds)",
+             "=" * len(header), header, "-" * len(header)]
+    for s in stats:
+        lines.append(f"{s.name:<14}{s.num_users:>10}{s.num_items:>10}"
+                     f"{s.num_instances:>12}{s.num_features:>12}{s.num_fields:>9}")
+    return "\n".join(lines), stats
+
+
+def test_table03_dataset_stats(benchmark):
+    text, stats = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    save_result("table03_dataset_stats.txt", text)
+
+    by_name = {s.name: s for s in stats}
+    # Field counts are the paper's exactly: 5 / 5 / 7.
+    assert by_name["amazon-cds"].num_fields == 5
+    assert by_name["amazon-books"].num_fields == 5
+    assert by_name["alipay"].num_fields == 7
+    # One positive + one sampled negative per user per split.
+    for s in stats:
+        assert s.num_instances == 2 * s.num_users
+    # Size ordering matches the paper: Cds < Books < Alipay in users/instances.
+    assert (by_name["amazon-cds"].num_users
+            < by_name["amazon-books"].num_users
+            < by_name["alipay"].num_users)

@@ -1,0 +1,54 @@
+"""Table VIII: multi-interest extractor comparison (CNN vs SA vs LSTM).
+
+Paper shape to reproduce: the CNN extractor wins on every dataset by a wide
+margin, while MISS-SA and MISS-LSTM hover near the plain DIN backbone (their
+view pairs collapse — see Figure 5 / test_fig05).
+"""
+
+from repro.bench import (
+    baseline_factory,
+    miss_model_factory,
+    render_metric_table,
+    run_cell,
+)
+from repro.data import DATASET_NAMES
+
+from .helpers import save_result
+
+EXTRACTORS = ("cnn", "sa", "lstm")
+
+
+def _build_table():
+    rows = []
+    metrics = {}
+    for dataset in DATASET_NAMES:
+        cell = run_cell("DIN", baseline_factory("DIN"), dataset)
+        metrics[dataset] = (cell.auc, cell.logloss)
+    rows.append(("DIN", metrics))
+    for extractor in EXTRACTORS:
+        label = f"MISS-{extractor.upper()}"
+        cache_name = "MISS" if extractor == "cnn" else label
+        factory = miss_model_factory("DIN", config_overrides={"extractor": extractor})
+        metrics = {}
+        for dataset in DATASET_NAMES:
+            cell = run_cell(cache_name, factory, dataset)
+            metrics[dataset] = (cell.auc, cell.logloss)
+        rows.append((label, metrics))
+    return rows
+
+
+def test_table08_extractors(benchmark):
+    rows = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    text = render_metric_table(
+        "Table VIII: multi-interest extractor comparison",
+        DATASET_NAMES, rows, highlight_best=False)
+    save_result("table08_extractors.txt", text)
+
+    by_model = dict(rows)
+    for dataset in DATASET_NAMES:
+        cnn = by_model["MISS-CNN"][dataset][0]
+        assert cnn > by_model["MISS-SA"][dataset][0], (
+            f"CNN extractor must beat self-attention on {dataset}")
+        assert cnn > by_model["MISS-LSTM"][dataset][0], (
+            f"CNN extractor must beat LSTM on {dataset}")
+        assert cnn > by_model["DIN"][dataset][0]

@@ -1,0 +1,70 @@
+"""Table XI: label-noise case study — AUC at 0/10/20% flipped labels.
+
+Paper shape to reproduce (Amazon-Cds and Amazon-Books): both models degrade
+as training labels get noisier, while DIN-MISS's relative improvement over
+DIN grows — the interest-level self-supervision regularises against noise.
+"""
+
+from repro.bench import baseline_factory, miss_model_factory, run_cell
+from repro.data import flip_labels
+from repro.training import relative_improvement
+
+from .helpers import save_result
+
+DATASETS = ("amazon-cds", "amazon-books")
+NOISE_RATES = (0.0, 0.1, 0.2)
+
+
+def _transform(rate: float):
+    if rate == 0.0:
+        return None
+    return lambda train, seed: flip_labels(train, rate, seed=seed + 900)
+
+
+def _build_table():
+    results = {}
+    for dataset in DATASETS:
+        for rate in NOISE_RATES:
+            extra = "" if rate == 0.0 else f"nr={rate}"
+            din = run_cell("DIN" if rate == 0.0 else f"DIN@nr{rate}",
+                           baseline_factory("DIN"), dataset,
+                           train_transform=_transform(rate), extra_key=extra)
+            miss = run_cell("MISS" if rate == 0.0 else f"MISS@nr{rate}",
+                            miss_model_factory("DIN"), dataset,
+                            train_transform=_transform(rate), extra_key=extra)
+            results[(dataset, rate)] = (din.auc, miss.auc)
+    return results
+
+
+def _render(results) -> str:
+    lines = ["Table XI: AUC under training-label noise (NR)",
+             "=" * 64,
+             f"{'Dataset':<14}{'NR':>6}{'DIN':>10}{'DIN-MISS':>12}{'RI':>9}"]
+    lines.append("-" * 64)
+    for (dataset, rate), (din_auc, miss_auc) in sorted(results.items()):
+        ri = relative_improvement(din_auc, miss_auc)
+        lines.append(f"{dataset:<14}{int(rate * 100):>5}%"
+                     f"{din_auc:>10.4f}{miss_auc:>12.4f}{ri:>8.2f}%")
+    return "\n".join(lines)
+
+
+def test_table11_noise(benchmark):
+    results = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    save_result("table11_noise.txt", _render(results))
+
+    for dataset in DATASETS:
+        for rate in NOISE_RATES:
+            din_auc, miss_auc = results[(dataset, rate)]
+            assert miss_auc > din_auc, (
+                f"DIN-MISS must beat DIN at NR={rate} on {dataset}")
+        # Noise hurts the plain model, and MISS's edge widens with noise.
+        assert results[(dataset, 0.2)][0] < results[(dataset, 0.0)][0], (
+            f"20% label noise should hurt DIN on {dataset}")
+        # MISS's edge must survive 20% label noise outright.  The paper's
+        # *growth* of RI with noise does not reliably reproduce at harness
+        # scale (noise destroys the scarce clean signal for both models —
+        # see EXPERIMENTS.md); the rendered table reports the exact RIs.
+        ri_noisy = relative_improvement(*results[(dataset, 0.2)])
+        assert ri_noisy > 2.0, (
+            f"MISS should retain a clear edge at NR=20% on {dataset}, "
+            f"got RI={ri_noisy:.2f}%")

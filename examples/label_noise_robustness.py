@@ -1,0 +1,41 @@
+"""Label-noise robustness: MISS's edge widens as training labels get noisier.
+
+Reproduces the paper's Table XI case study at example scale: labels of a
+growing fraction of *training* samples are randomly swapped while the
+validation/test splits stay clean.
+
+    python examples/label_noise_robustness.py
+"""
+
+from repro.core import MISSConfig, attach_miss
+from repro.data import flip_labels, load_dataset
+from repro.models import create_model
+from repro.training import TrainConfig, relative_improvement, run_experiment
+
+NOISE_RATES = (0.0, 0.1, 0.2)
+
+
+def main() -> None:
+    data = load_dataset("amazon-cds", scale=0.4, seed=0)
+    config = TrainConfig(epochs=12, learning_rate=1e-2, weight_decay=1e-5,
+                         patience=4, seed=0)
+
+    print(f"{'NR':>4}{'DIN AUC':>10}{'DIN-MISS AUC':>14}{'RI':>9}")
+    for rate in NOISE_RATES:
+        noisy_train = flip_labels(data.train, rate, seed=7)
+
+        din = create_model("DIN", data.schema, seed=1)
+        din_result = run_experiment(din, data, config, train=noisy_train)
+
+        base = create_model("DIN", data.schema, seed=1)
+        miss = attach_miss(base, MISSConfig(alpha_interest=0.5,
+                                            alpha_feature=0.5, seed=2))
+        miss_result = run_experiment(miss, data, config, train=noisy_train)
+
+        ri = relative_improvement(din_result.auc, miss_result.auc)
+        print(f"{int(rate * 100):>3}%{din_result.auc:>10.4f}"
+              f"{miss_result.auc:>14.4f}{ri:>8.2f}%")
+
+
+if __name__ == "__main__":
+    main()

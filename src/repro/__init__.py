@@ -1,0 +1,18 @@
+"""Reproduction of "MISS: Multi-Interest Self-Supervised Learning Framework
+for Click-Through Rate Prediction" (Guo et al., ICDE 2022).
+
+Subpackages
+-----------
+``repro.nn``             numpy autodiff substrate (tensors, layers, optimisers)
+``repro.data``           InterestWorld simulator + the paper's data pipeline
+``repro.models``         the 13 CTR baselines of Table IV
+``repro.core``           the MISS framework (extractors, augmentation, losses)
+``repro.ssl_baselines``  Rule / IRSSL / S3Rec / CL4SRec (Table VI)
+``repro.training``       trainer, metrics, calibration, experiment runner
+``repro.bench``          benchmark harness regenerating every table and figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["nn", "data", "models", "core", "ssl_baselines", "training",
+           "bench", "__version__"]

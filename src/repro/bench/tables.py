@@ -1,0 +1,62 @@
+"""Plain-text table rendering in the layout of the paper's result tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_metric_table", "render_series"]
+
+
+def render_metric_table(title: str, datasets: Sequence[str],
+                        rows: Sequence[tuple[str, dict[str, tuple[float, float]]]],
+                        highlight_best: bool = True) -> str:
+    """Render rows of (model, {dataset: (AUC, Logloss)}) like Table IV.
+
+    The best AUC per dataset column is marked with ``*`` when
+    ``highlight_best`` is set (mirroring the paper's bold/star convention).
+    """
+    best_auc = {}
+    if highlight_best:
+        for dataset in datasets:
+            best_auc[dataset] = max(metrics[dataset][0] for _, metrics in rows
+                                    if dataset in metrics)
+
+    name_width = max(len("Model"), max(len(name) for name, _ in rows))
+    header_cells = [f"{'Model':<{name_width}}"]
+    for dataset in datasets:
+        header_cells.append(f"{dataset + ' AUC':>16}")
+        header_cells.append(f"{dataset + ' Logloss':>20}")
+    lines = [title, "=" * len(title), " | ".join(header_cells)]
+    lines.append("-" * len(lines[-1]))
+
+    for name, metrics in rows:
+        cells = [f"{name:<{name_width}}"]
+        for dataset in datasets:
+            if dataset not in metrics:
+                cells.append(f"{'-':>16}")
+                cells.append(f"{'-':>20}")
+                continue
+            auc, logloss = metrics[dataset]
+            star = "*" if highlight_best and auc == best_auc[dataset] else " "
+            cells.append(f"{auc:>15.4f}{star}")
+            cells.append(f"{logloss:>20.4f}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: dict[str, Sequence[float]], fmt: str = "{:.4f}"
+                  ) -> str:
+    """Render a figure's data as an aligned text table (one row per x)."""
+    names = list(series)
+    width = max(12, max(len(n) for n in names) + 2)
+    lines = [title, "=" * len(title)]
+    header = f"{x_label:<12}" + "".join(f"{n:>{width}}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        row = f"{str(x):<12}"
+        for name in names:
+            row += f"{fmt.format(series[name][i]):>{width}}"
+        lines.append(row)
+    return "\n".join(lines)

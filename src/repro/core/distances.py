@@ -1,0 +1,64 @@
+"""Interest-dependency distance distributions (paper §V-B future work).
+
+The paper samples the augmentation distance ``h`` uniformly from ``[1, H]``
+and notes that "other complex distributions (e.g., Gaussian distribution)
+are also applicable, and we leave them to future works".  This module
+implements that future work:
+
+* ``uniform``   — the paper's default.
+* ``gaussian``  — a discretised half-Gaussian centred at 1: short distances
+  dominate, long distances appear with decaying probability (closeness decays
+  smoothly in time).
+* ``geometric`` — P(h) ∝ (1-p)^{h-1}: the memoryless analogue, matching the
+  geometric session lengths of the InterestWorld simulator.
+
+All samplers take the generator explicitly and return an integer in
+``[1, max_distance]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DISTANCE_DISTRIBUTIONS", "sample_distance"]
+
+
+def _uniform(max_distance: int, rng: np.random.Generator) -> int:
+    return int(rng.integers(1, max_distance + 1))
+
+
+def _gaussian(max_distance: int, rng: np.random.Generator,
+              sigma_scale: float = 0.6) -> int:
+    sigma = max(1e-6, sigma_scale * max_distance)
+    support = np.arange(1, max_distance + 1)
+    weights = np.exp(-0.5 * ((support - 1) / sigma) ** 2)
+    weights /= weights.sum()
+    return int(rng.choice(support, p=weights))
+
+
+def _geometric(max_distance: int, rng: np.random.Generator,
+               success: float = 0.5) -> int:
+    support = np.arange(1, max_distance + 1)
+    weights = (1.0 - success) ** (support - 1)
+    weights /= weights.sum()
+    return int(rng.choice(support, p=weights))
+
+
+DISTANCE_DISTRIBUTIONS = {
+    "uniform": _uniform,
+    "gaussian": _gaussian,
+    "geometric": _geometric,
+}
+
+
+def sample_distance(distribution: str, max_distance: int,
+                    rng: np.random.Generator) -> int:
+    """Draw an augmentation distance ``h ∈ [1, max_distance]``."""
+    if max_distance < 1:
+        raise ValueError("max_distance must be >= 1")
+    try:
+        sampler = DISTANCE_DISTRIBUTIONS[distribution]
+    except KeyError:
+        raise KeyError(f"unknown distance distribution {distribution!r}; "
+                       f"choose from {tuple(DISTANCE_DISTRIBUTIONS)}") from None
+    return sampler(max_distance, rng)

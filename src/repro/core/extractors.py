@@ -1,0 +1,85 @@
+"""The CNN multi-interest extractors MIE(·) and MIMFE(·) (paper §V-A, §V-C).
+
+:class:`MultiInterestExtractor` implements Eq. 18-20: ``M`` horizontal
+convolution branches over the sequential-embedding tensor ``C ∈ (B,J,L,K)``,
+producing one ``G_m ∈ (B,J,L-m+1,K)`` per branch.  Width-1 kernels capture
+point-wise interests, wider kernels union-wise interests.
+
+:class:`FineGrainedExtractor` implements Eq. 22-23: ``N`` vertical branches
+over each ``G_m``, producing ``Ĝ_{m,n} ∈ (B,J-n+1,L-m+1,K)`` to model
+intra-item correlations between the J sequential fields.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import HorizontalConv, Module, ModuleList, Tensor, VerticalConv
+
+__all__ = ["MultiInterestExtractor", "FineGrainedExtractor"]
+
+
+class MultiInterestExtractor(Module):
+    """MIE(·): horizontal convolution branches with widths 1..M."""
+
+    def __init__(self, max_width: int, rng: np.random.Generator):
+        super().__init__()
+        if max_width < 1:
+            raise ValueError("max_width must be >= 1")
+        self.max_width = max_width
+        self.branches = ModuleList([
+            HorizontalConv(width, rng) for width in range(1, max_width + 1)
+        ])
+
+    def forward(self, c: Tensor) -> list[Tensor]:
+        """Branch outputs ``[G_1, ..., G_M]``; skips branches wider than L."""
+        seq_len = c.shape[2]
+        outputs = []
+        for branch in self.branches:
+            if branch.width <= seq_len:
+                outputs.append(branch(c))
+        if not outputs:
+            raise ValueError(f"sequence length {seq_len} shorter than every kernel")
+        return outputs
+
+    def num_interests(self, seq_len: int) -> int:
+        """|T| = Σ_m (L - m + 1), the paper's interest count."""
+        return sum(seq_len - width + 1
+                   for width in range(1, self.max_width + 1) if width <= seq_len)
+
+
+class FineGrainedExtractor(Module):
+    """MIMFE(·): vertical convolution branches with heights 1..N.
+
+    One set of vertical kernels is instantiated per horizontal branch
+    (the paper indexes them ``ĝ_{m,n}``).
+    """
+
+    def __init__(self, max_width: int, max_height: int, rng: np.random.Generator):
+        super().__init__()
+        if max_height < 1:
+            raise ValueError("max_height must be >= 1")
+        self.max_height = max_height
+        self.branches = ModuleList([
+            ModuleList([VerticalConv(height, rng)
+                        for height in range(1, max_height + 1)])
+            for _ in range(max_width)
+        ])
+
+    def forward(self, interest_maps: list[Tensor]) -> list[Tensor]:
+        """All ``Ĝ_{m,n}`` with n no larger than the field count J."""
+        outputs = []
+        for m, g in enumerate(interest_maps):
+            num_fields = g.shape[1]
+            for conv in self.branches[m]:
+                if conv.height <= num_fields:
+                    outputs.append(conv(g))
+        if not outputs:
+            raise ValueError("no vertical kernel fits the field count")
+        return outputs
+
+    def omega(self, num_fields: int) -> int:
+        """Ω = Σ_n (J - n + 1), feature representations per interest."""
+        return sum(num_fields - height + 1
+                   for height in range(1, self.max_height + 1)
+                   if height <= num_fields)

@@ -1,0 +1,73 @@
+"""Plug-and-play attachment of MISS to any deep CTR model (§IV-C).
+
+:class:`MISSEnhancedModel` wraps a base model, shares its embedder with a
+:class:`MISSModule`, and optimises the multi-task objective of Eq. 17:
+``L = L_logloss + α1·L_ssl + α2·L'_ssl``.  Prediction is entirely delegated
+to the base model — at inference time MISS costs nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..models.base import DeepCTRModel
+from ..nn import Tensor
+from ..nn import functional as F
+from .config import MISSConfig
+from .miss import MISSModule
+
+__all__ = ["MISSEnhancedModel", "attach_miss"]
+
+
+class MISSEnhancedModel(DeepCTRModel):
+    """A base CTR model with the MISS SSL losses attached."""
+
+    def __init__(self, base: DeepCTRModel, config: MISSConfig,
+                 rng: np.random.Generator | None = None):
+        if not isinstance(base, DeepCTRModel):
+            raise TypeError(
+                f"MISS attaches to embedding-based models (DeepCTRModel); "
+                f"{type(base).__name__} has no shared embedder to enhance")
+        # Deliberately skip DeepCTRModel.__init__: we adopt the base model's
+        # schema and embedder rather than creating fresh ones.
+        super(DeepCTRModel, self).__init__(base.schema)
+        self.embedding_dim = base.embedding_dim
+        self.base = base
+        self.embedder = base.embedder  # shared tables: SSL shapes them directly
+        self.config = config
+        self.ssl = MISSModule(base.schema, base.embedding_dim, config,
+                              rng or np.random.default_rng(config.seed))
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        return self.base.predict_logits(batch)
+
+    def ssl_loss(self, batch: Batch) -> Tensor:
+        """The weighted SSL term alone (used by the pre-training strategy)."""
+        c = self.embedder.sequence_embeddings(batch)
+        return self.ssl(c, batch.mask, batch.sequences)
+
+    def ctr_loss(self, batch: Batch) -> Tensor:
+        """The base model's own loss (includes e.g. DIEN's auxiliary loss)."""
+        return self.base.training_loss(batch)
+
+    def training_loss(self, batch: Batch) -> Tensor:
+        """Eq. 17: joint CTR + SSL objective."""
+        return self.ctr_loss(batch) + self.ssl_loss(batch)
+
+    def named_parameters(self, prefix: str = ""):
+        # The shared embedder lives inside ``base``; expose each parameter
+        # exactly once (``self.embedder`` is the same object).
+        seen: set[int] = set()
+        for name, p in super().named_parameters(prefix=prefix):
+            if id(p) in seen:
+                continue
+            seen.add(id(p))
+            yield name, p
+
+
+def attach_miss(base: DeepCTRModel, config: MISSConfig | None = None,
+                seed: int = 0) -> MISSEnhancedModel:
+    """Convenience wrapper: ``attach_miss(DINModel(...))`` → DIN-MISS."""
+    config = config or MISSConfig(seed=seed)
+    return MISSEnhancedModel(base, config, np.random.default_rng(seed))

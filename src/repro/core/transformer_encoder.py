@@ -1,0 +1,54 @@
+"""Transformer view encoder (paper §IV-B3 future work).
+
+The paper implements Enc^i and Enc^if as small MLPs and "leave[s] the
+exploration of other encoder structures to future works", citing Transformer
+encoders in CL4SRec/BERT4Rec.  This module implements that extension: the
+flattened interest view ``(B, J·K)`` is reshaped into its ``J`` field tokens,
+passed through a small pre-norm-free Transformer block (multi-head
+self-attention over fields + a position-wise feed-forward), mean-pooled, and
+projected to the contrastive code.
+
+Select it with ``MISSConfig(interest_encoder="transformer")``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MLP, Dense, Module, MultiHeadSelfAttention, Tensor
+
+__all__ = ["TransformerViewEncoder"]
+
+
+class TransformerViewEncoder(Module):
+    """Self-attention over the J field tokens of an interest view."""
+
+    def __init__(self, num_fields: int, embedding_dim: int,
+                 layer_sizes: tuple[int, ...], rng: np.random.Generator,
+                 num_heads: int = 2):
+        super().__init__()
+        if not layer_sizes:
+            raise ValueError("encoder needs at least one layer")
+        self.num_fields = num_fields
+        self.embedding_dim = embedding_dim
+        self.in_features = num_fields * embedding_dim
+        self.attention = MultiHeadSelfAttention(embedding_dim, num_heads, rng)
+        attn_width = self.attention.out_features
+        self.feed_forward = Dense(attn_width, attn_width, rng, activation="relu")
+        self.head = MLP(attn_width, list(layer_sizes), rng, activation="relu")
+        self.out_features = layer_sizes[-1]
+
+    def forward(self, view: Tensor) -> Tensor:
+        if view.shape[-1] != self.in_features:
+            raise ValueError(
+                f"view width {view.shape[-1]} != encoder input {self.in_features}")
+        batch = view.shape[0]
+        tokens = view.reshape((batch, self.num_fields, self.embedding_dim))
+        attended = self.attention(tokens)
+        transformed = self.feed_forward(attended) + attended  # residual FFN
+        pooled = transformed.mean(axis=1)
+        return self.head(pooled)
+
+    def encode_pair(self, view1: Tensor, view2: Tensor) -> tuple[Tensor, Tensor]:
+        """Encode both views with shared weights (SimCLR convention)."""
+        return self(view1), self(view2)

@@ -1,0 +1,106 @@
+"""Diagnostics for simulated worlds: the structure MISS relies on, measured.
+
+These utilities quantify the properties DESIGN.md claims the simulator has —
+temporal closeness of same-interest behaviours, interest interleaving and
+recurrence, item-frequency sparsity — so a downstream user can verify (or
+re-tune) a world before running experiments on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .synthetic import InterestWorld
+
+__all__ = ["WorldDiagnostics", "diagnose_world", "topic_adjacency_curve"]
+
+
+@dataclass(frozen=True)
+class WorldDiagnostics:
+    """Summary statistics of one sampled InterestWorld.
+
+    Attributes:
+        closeness: P(same latent topic | adjacent behaviours) — the paper's
+            closeness assumption; should be far above ``1/topics_per_user``.
+        recurrence: P(a new session's topic appeared within the previous 8
+            behaviours) — the long-range dependency exploited by distance-h
+            augmentation.
+        mean_history_length: Average behaviours per user.
+        mean_interests: Average latent interests per user.
+        missclick_rate: Fraction of behaviours marked as noise.
+        item_frequency_median: Median occurrences per interacted item (label
+            sparsity: the paper's datasets sit in the single digits).
+        item_frequency_p90: 90th percentile of the same distribution.
+    """
+
+    closeness: float
+    recurrence: float
+    mean_history_length: float
+    mean_interests: float
+    missclick_rate: float
+    item_frequency_median: float
+    item_frequency_p90: float
+
+
+def topic_adjacency_curve(world: InterestWorld, max_lag: int = 6) -> np.ndarray:
+    """P(same topic at distance h) for h = 1..max_lag.
+
+    This is the empirical footprint of the closeness assumption as a function
+    of the augmentation distance: MISS's ``H`` should be chosen where this
+    curve is still clearly above the chance level.
+    """
+    if max_lag < 1:
+        raise ValueError("max_lag must be >= 1")
+    hits = np.zeros(max_lag)
+    totals = np.zeros(max_lag)
+    for user in world.users:
+        topics = user.topics
+        real = topics >= 0
+        for lag in range(1, max_lag + 1):
+            if topics.size <= lag:
+                continue
+            valid = real[lag:] & real[:-lag]
+            hits[lag - 1] += int((topics[lag:] == topics[:-lag])[valid].sum())
+            totals[lag - 1] += int(valid.sum())
+    return hits / np.maximum(totals, 1)
+
+
+def diagnose_world(world: InterestWorld, recurrence_window: int = 8
+                   ) -> WorldDiagnostics:
+    """Compute :class:`WorldDiagnostics` for a sampled world."""
+    same = total = 0
+    recur = switches = 0
+    noise = behaviours = 0
+    counts = np.zeros(world.config.num_items, dtype=np.int64)
+    lengths, interests = [], []
+
+    for user in world.users:
+        topics = user.topics
+        lengths.append(topics.size)
+        interests.append(user.interest_topics.size)
+        np.add.at(counts, user.items, 1)
+        noise += int((topics == -1).sum())
+        behaviours += topics.size
+        real = topics >= 0
+        valid_adjacent = real[1:] & real[:-1]
+        same += int((topics[1:] == topics[:-1])[valid_adjacent].sum())
+        total += int(valid_adjacent.sum())
+        for i in range(1, topics.size):
+            if real[i] and real[i - 1] and topics[i] != topics[i - 1]:
+                switches += 1
+                window = topics[max(0, i - recurrence_window):i - 1]
+                if topics[i] in window:
+                    recur += 1
+
+    interacted = counts[counts > 0]
+    return WorldDiagnostics(
+        closeness=same / max(total, 1),
+        recurrence=recur / max(switches, 1),
+        mean_history_length=float(np.mean(lengths)),
+        mean_interests=float(np.mean(interests)),
+        missclick_rate=noise / max(behaviours, 1),
+        item_frequency_median=float(np.median(interacted)),
+        item_frequency_p90=float(np.percentile(interacted, 90)),
+    )

@@ -1,0 +1,111 @@
+"""Dataset containers and mini-batch iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import DatasetSchema
+
+__all__ = ["CTRDataset", "Batch", "DataLoader"]
+
+
+@dataclass
+class Batch:
+    """One mini-batch of CTR samples.
+
+    Attributes:
+        categorical: ``(B, I)`` int64 ids, one column per categorical field.
+        sequences: ``(B, J, L)`` int64 ids, 0-padded at the front.
+        mask: ``(B, L)`` bool validity mask shared by all J sequences.
+        labels: ``(B,)`` float click labels in {0, 1}.
+    """
+
+    categorical: np.ndarray
+    sequences: np.ndarray
+    mask: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return self.labels.shape[0]
+
+
+@dataclass
+class CTRDataset:
+    """A full split (train/validation/test) in array form."""
+
+    schema: DatasetSchema
+    categorical: np.ndarray
+    sequences: np.ndarray
+    mask: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self):
+        n = self.labels.shape[0]
+        if self.categorical.shape != (n, self.schema.num_categorical):
+            raise ValueError(f"categorical shape {self.categorical.shape} "
+                             f"inconsistent with {n} samples")
+        expected_seq = (n, self.schema.num_sequential, self.schema.max_seq_len)
+        if self.sequences.shape != expected_seq:
+            raise ValueError(f"sequences shape {self.sequences.shape} != {expected_seq}")
+        if self.mask.shape != (n, self.schema.max_seq_len):
+            raise ValueError(f"mask shape {self.mask.shape} inconsistent")
+
+    def __len__(self) -> int:
+        return self.labels.shape[0]
+
+    def subset(self, indices: np.ndarray) -> "CTRDataset":
+        """A new dataset restricted to ``indices`` (used for down-sampling)."""
+        return CTRDataset(
+            schema=self.schema,
+            categorical=self.categorical[indices],
+            sequences=self.sequences[indices],
+            mask=self.mask[indices],
+            labels=self.labels[indices],
+        )
+
+    def batch(self, indices: np.ndarray) -> Batch:
+        return Batch(
+            categorical=self.categorical[indices],
+            sequences=self.sequences[indices],
+            mask=self.mask[indices],
+            labels=self.labels[indices],
+        )
+
+    def as_single_batch(self) -> Batch:
+        return self.batch(np.arange(len(self)))
+
+
+class DataLoader:
+    """Shuffling mini-batch iterator over a :class:`CTRDataset`.
+
+    The paper fixes batch size 128; the loader keeps the final short batch so
+    every sample is seen each epoch.
+    """
+
+    def __init__(self, dataset: CTRDataset, batch_size: int = 128,
+                 shuffle: bool = True, rng: np.random.Generator | None = None,
+                 drop_last: bool = False):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = rng or np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            chunk = order[start:start + self.batch_size]
+            if self.drop_last and chunk.size < self.batch_size:
+                return
+            yield self.dataset.batch(chunk)

@@ -1,0 +1,52 @@
+"""Training-set corruptions for the case studies of §VI-E.
+
+* :func:`downsample` — the label-sparsity study (Table X): keep a random
+  ``rate`` fraction of training samples, validation/test untouched.
+* :func:`flip_labels` — the label-noise study (Table XI): randomly swap the
+  labels of a ``rate`` fraction of training samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .batching import CTRDataset
+
+__all__ = ["downsample", "flip_labels"]
+
+
+def downsample(dataset: CTRDataset, rate: float, seed: int = 0) -> CTRDataset:
+    """Keep a uniformly random ``rate`` fraction of samples.
+
+    ``rate=1.0`` returns the dataset unchanged (the paper's SR=100% row).
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"sampling rate must be in (0, 1], got {rate}")
+    if rate == 1.0:
+        return dataset
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    keep = max(1, int(round(n * rate)))
+    indices = rng.choice(n, size=keep, replace=False)
+    indices.sort()
+    return dataset.subset(indices)
+
+
+def flip_labels(dataset: CTRDataset, rate: float, seed: int = 0) -> CTRDataset:
+    """Swap labels on a random ``rate`` fraction of samples (0 keeps all)."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"noise rate must be in [0, 1], got {rate}")
+    if rate == 0.0:
+        return dataset
+    rng = np.random.default_rng(seed)
+    n = len(dataset)
+    flip = rng.random(n) < rate
+    labels = dataset.labels.copy()
+    labels[flip] = 1.0 - labels[flip]
+    return CTRDataset(
+        schema=dataset.schema,
+        categorical=dataset.categorical,
+        sequences=dataset.sequences,
+        mask=dataset.mask,
+        labels=labels,
+    )

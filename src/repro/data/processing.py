@@ -1,0 +1,203 @@
+"""From raw InterestWorld histories to model-ready CTR splits.
+
+Implements the paper's §VI-A2 pipeline:
+
+1. frequency filtering — drop behaviours on items with fewer than
+   ``min_interactions`` occurrences, then drop users whose filtered history
+   is too short for the leave-last-3 split;
+2. chronological ordering (the simulator already emits time order);
+3. leave-last-3 splitting — history ``[1, L-3]`` predicts the ``(L-2)``-th
+   item (train), ``[1, L-2]`` predicts the ``(L-1)``-th (validation), and
+   ``[1, L-1]`` predicts the ``L``-th (test);
+4. per-positive random negative sampling of a non-interacted item.
+
+Ids are remapped to dense vocabularies with 0 reserved for padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .batching import CTRDataset
+from .schema import DatasetSchema, FieldSpec
+from .synthetic import InterestWorld, UserHistory
+
+__all__ = ["ProcessedData", "build_ctr_data"]
+
+
+@dataclass
+class ProcessedData:
+    """The three splits plus the shared schema and id maps."""
+
+    schema: DatasetSchema
+    train: CTRDataset
+    validation: CTRDataset
+    test: CTRDataset
+    item_map: dict[int, int]
+    user_map: dict[int, int]
+
+    @property
+    def splits(self) -> dict[str, CTRDataset]:
+        return {"train": self.train, "validation": self.validation, "test": self.test}
+
+
+def _filter_world(world: InterestWorld) -> list[UserHistory]:
+    """Apply the paper's frequency filter; keep users with >= 4 behaviours."""
+    threshold = world.config.min_interactions
+    counts = np.zeros(world.config.num_items, dtype=np.int64)
+    for user in world.users:
+        np.add.at(counts, user.items, 1)
+    keep_item = counts >= threshold
+
+    kept: list[UserHistory] = []
+    for user in world.users:
+        mask = keep_item[user.items]
+        items = user.items[mask]
+        topics = user.topics[mask]
+        if items.size >= 4:  # room for history + train/val/test targets
+            kept.append(UserHistory(
+                user_id=user.user_id, items=items, topics=topics,
+                interest_topics=user.interest_topics, affinities=user.affinities))
+    return kept
+
+
+def _remap(values: np.ndarray) -> dict[int, int]:
+    """Dense id map starting at 1 (0 is padding)."""
+    unique = np.unique(values)
+    return {int(v): i + 1 for i, v in enumerate(unique)}
+
+
+def build_ctr_data(world: InterestWorld, max_seq_len: int = 20,
+                   seed: int = 0) -> ProcessedData:
+    """Run the full pipeline and return train/validation/test datasets."""
+    cfg = world.config
+    rng = np.random.default_rng(seed)
+    users = _filter_world(world)
+    if not users:
+        raise ValueError("frequency filtering removed every user; "
+                         "lower min_interactions or grow the world")
+
+    all_items = np.concatenate([u.items for u in users])
+    item_map = _remap(all_items)
+    user_map = {u.user_id: i + 1 for i, u in enumerate(users)}
+
+    categories = np.unique(world.item_category[list(item_map)])
+    category_map = {int(c): i + 1 for i, c in enumerate(categories)}
+    has_seller = world.item_seller is not None
+    if has_seller:
+        sellers = np.unique(world.item_seller[list(item_map)])
+        seller_map = {int(s): i + 1 for i, s in enumerate(sellers)}
+
+    def item_id(raw: int) -> int:
+        return item_map[raw]
+
+    def cate_id(raw_item: int) -> int:
+        return category_map[int(world.item_category[raw_item])]
+
+    def seller_id(raw_item: int) -> int:
+        return seller_map[int(world.item_seller[raw_item])]
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+    num_items = len(item_map) + 1
+    num_categories = len(category_map) + 1
+    categorical = [
+        FieldSpec("user", "categorical", len(user_map) + 1),
+        FieldSpec("item", "categorical", num_items),
+        FieldSpec("category", "categorical", num_categories),
+    ]
+    sequential = [
+        FieldSpec("item_seq", "sequential", num_items),
+        FieldSpec("cate_seq", "sequential", num_categories),
+    ]
+    paired = [1, 2]
+    if has_seller:
+        categorical.append(FieldSpec("seller", "categorical", len(seller_map) + 1))
+        sequential.append(FieldSpec("seller_seq", "sequential", len(seller_map) + 1))
+        paired.append(3)
+    schema = DatasetSchema(
+        name=cfg.name,
+        categorical=tuple(categorical),
+        sequential=tuple(sequential),
+        max_seq_len=max_seq_len,
+        paired_with=tuple(paired),
+    )
+
+    # ------------------------------------------------------------------
+    # Sample construction
+    # ------------------------------------------------------------------
+    def encode_history(raw_items: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Pad/truncate to L; newest behaviours keep the rightmost slots."""
+        raw_items = raw_items[-max_seq_len:]
+        length = raw_items.size
+        seqs = np.zeros((schema.num_sequential, max_seq_len), dtype=np.int64)
+        mask = np.zeros(max_seq_len, dtype=bool)
+        offset = max_seq_len - length
+        for pos, raw in enumerate(raw_items):
+            col = offset + pos
+            seqs[0, col] = item_id(int(raw))
+            seqs[1, col] = cate_id(int(raw))
+            if has_seller:
+                seqs[2, col] = seller_id(int(raw))
+            mask[col] = True
+        return seqs, mask
+
+    def candidate_row(user: UserHistory, raw_item: int) -> list[int]:
+        row = [user_map[user.user_id], item_id(raw_item), cate_id(raw_item)]
+        if has_seller:
+            row.append(seller_id(raw_item))
+        return row
+
+    interacted_raw = {u.user_id: set(u.items.tolist()) for u in users}
+    valid_raw_items = list(item_map)
+
+    def sample_negative(user: UserHistory) -> int:
+        seen = interacted_raw[user.user_id]
+        for _ in range(200):
+            raw = valid_raw_items[int(rng.integers(len(valid_raw_items)))]
+            if raw not in seen:
+                return raw
+        raise RuntimeError("negative sampling failed: user interacted with "
+                           "almost the whole catalogue")
+
+    split_rows: dict[str, dict[str, list]] = {
+        name: {"cat": [], "seq": [], "mask": [], "label": []}
+        for name in ("train", "validation", "test")
+    }
+
+    for user in users:
+        history = user.items
+        # (split_name, history cut, positive target index)
+        cuts = (("train", history[:-3], int(history[-3])),
+                ("validation", history[:-2], int(history[-2])),
+                ("test", history[:-1], int(history[-1])))
+        for split_name, hist, positive in cuts:
+            seqs, mask = encode_history(hist)
+            negative = sample_negative(user)
+            for raw_candidate, label in ((positive, 1.0), (negative, 0.0)):
+                rows = split_rows[split_name]
+                rows["cat"].append(candidate_row(user, raw_candidate))
+                rows["seq"].append(seqs)
+                rows["mask"].append(mask)
+                rows["label"].append(label)
+
+    def finalize(rows: dict[str, list]) -> CTRDataset:
+        return CTRDataset(
+            schema=schema,
+            categorical=np.asarray(rows["cat"], dtype=np.int64),
+            sequences=np.stack(rows["seq"]).astype(np.int64),
+            mask=np.stack(rows["mask"]),
+            labels=np.asarray(rows["label"], dtype=np.float64),
+        )
+
+    return ProcessedData(
+        schema=schema,
+        train=finalize(split_rows["train"]),
+        validation=finalize(split_rows["validation"]),
+        test=finalize(split_rows["test"]),
+        item_map=item_map,
+        user_map=user_map,
+    )

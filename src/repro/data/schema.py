@@ -1,0 +1,102 @@
+"""Feature schema shared by the data pipeline and every CTR model.
+
+A sample follows Eq. (1) of the paper: ``x = [f_1..f_I, s_1..s_J]`` with
+``I`` categorical features (user id, candidate item id, candidate category,
+context fields) and ``J`` sequential features (item-id history, category
+history, and on Alipay the seller history), all padded to a common length
+``L``.  The paper's "#Fields" column counts ``I + J``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FieldSpec", "DatasetSchema"]
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One feature field.
+
+    Attributes:
+        name: Human-readable field name (e.g. ``"item"`` or ``"item_seq"``).
+        kind: Either ``"categorical"`` or ``"sequential"``.
+        vocab_size: Number of distinct ids including the padding id 0.
+    """
+
+    name: str
+    kind: str
+    vocab_size: int
+
+    def __post_init__(self):
+        if self.kind not in ("categorical", "sequential"):
+            raise ValueError(f"unknown field kind: {self.kind!r}")
+        if self.vocab_size < 1:
+            raise ValueError(f"vocab_size must be >= 1, got {self.vocab_size}")
+
+
+@dataclass(frozen=True)
+class DatasetSchema:
+    """Layout of one dataset's samples.
+
+    Attributes:
+        name: Dataset name (e.g. ``"amazon-cds"``).
+        categorical: The ``I`` categorical fields, in sample order.
+        sequential: The ``J`` sequential fields, in sample order.  Each
+            sequential field pairs with the categorical field that describes
+            the candidate in the same id space (``paired_with``).
+        max_seq_len: The padded history length ``L``.
+        paired_with: For each sequential field, the index into ``categorical``
+            of the candidate-side field sharing its embedding table (item-id
+            history pairs with the candidate item id, and so on).  Sharing
+            embedding tables between history and candidate is what lets the
+            SSL signal on sequence embeddings transfer to CTR prediction.
+    """
+
+    name: str
+    categorical: tuple[FieldSpec, ...]
+    sequential: tuple[FieldSpec, ...]
+    max_seq_len: int
+    paired_with: tuple[int, ...] = field(default=())
+
+    def __post_init__(self):
+        if self.max_seq_len < 1:
+            raise ValueError("max_seq_len must be >= 1")
+        if self.paired_with and len(self.paired_with) != len(self.sequential):
+            raise ValueError("paired_with must align with sequential fields")
+        for idx in self.paired_with:
+            if not 0 <= idx < len(self.categorical):
+                raise IndexError(f"paired_with index {idx} out of range")
+
+    @property
+    def num_categorical(self) -> int:
+        """The paper's ``I``."""
+        return len(self.categorical)
+
+    @property
+    def num_sequential(self) -> int:
+        """The paper's ``J``."""
+        return len(self.sequential)
+
+    @property
+    def num_fields(self) -> int:
+        """The paper's "#Fields" (I + J)."""
+        return self.num_categorical + self.num_sequential
+
+    @property
+    def num_features(self) -> int:
+        """The paper's "#Features": total vocabulary across categorical
+        fields (sequential fields share their paired categorical vocab)."""
+        return sum(f.vocab_size for f in self.categorical)
+
+    def categorical_index(self, name: str) -> int:
+        for i, spec in enumerate(self.categorical):
+            if spec.name == name:
+                return i
+        raise KeyError(f"no categorical field named {name!r}")
+
+    def sequential_index(self, name: str) -> int:
+        for j, spec in enumerate(self.sequential):
+            if spec.name == name:
+                return j
+        raise KeyError(f"no sequential field named {name!r}")

@@ -1,0 +1,26 @@
+"""The CTR model zoo: every baseline from the paper's Table IV."""
+
+from .autoint import AutoIntModel
+from .base import CTRModel, DeepCTRModel
+from .dcn import CrossNetwork, CrossNetworkMatrix, DCNMModel, DCNModel
+from .dien import DIENModel
+from .din import DINModel
+from .dmr import DMRModel
+from .fignn import FiGNNModel, build_field_graph
+from .fm import DeepFMModel, FMModel, fm_second_order
+from .inputs import FeatureEmbedder
+from .lr import LRModel
+from .pnn import IPNNModel
+from .registry import MODEL_NAMES, create_model
+from .sim import SIMSoftModel
+from .xdeepfm import CIN, XDeepFMModel
+
+__all__ = [
+    "CTRModel", "DeepCTRModel", "FeatureEmbedder",
+    "LRModel", "FMModel", "DeepFMModel", "fm_second_order",
+    "IPNNModel", "DCNModel", "DCNMModel", "CrossNetwork", "CrossNetworkMatrix",
+    "XDeepFMModel", "CIN",
+    "DINModel", "DIENModel", "SIMSoftModel", "DMRModel",
+    "AutoIntModel", "FiGNNModel", "build_field_graph",
+    "MODEL_NAMES", "create_model",
+]

@@ -1,0 +1,47 @@
+"""AutoInt+ (Song et al., 2019): self-attentive feature interactions + deep."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import MLP, Dense, MultiHeadSelfAttention, Tensor, concatenate
+from .base import DeepCTRModel
+
+__all__ = ["AutoIntModel"]
+
+
+class AutoIntModel(DeepCTRModel):
+    """Stacked multi-head self-attention over field embeddings.
+
+    The "+" variant (used in the paper) runs a deep tower in parallel and
+    sums the two logits.
+    """
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator, num_layers: int = 2,
+                 num_heads: int = 2,
+                 hidden_sizes: tuple[int, ...] = (40, 40, 40, 1)):
+        super().__init__(schema, embedding_dim, rng)
+        if num_layers < 1:
+            raise ValueError("need at least one attention layer")
+        layers = []
+        width = embedding_dim
+        for _ in range(num_layers):
+            attention = MultiHeadSelfAttention(width, num_heads, rng)
+            layers.append(attention)
+            width = attention.out_features
+        self.attention_layers = layers
+        self.head = Dense(schema.num_fields * width, 1, rng)
+        self.deep = MLP(self.embedder.flat_width, list(hidden_sizes), rng,
+                        activation="relu")
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        fields = self.embedder.field_vectors(batch)
+        attended = fields
+        for layer in self.attention_layers:
+            attended = layer(attended)
+        explicit = self.head(attended.flatten_from(1)).squeeze(-1)
+        deep = self.deep(fields.flatten_from(1)).squeeze(-1)
+        return explicit + deep

@@ -1,0 +1,82 @@
+"""DCN (Wang et al., 2017) and DCN-M / DCN-V2 (Wang et al., 2021)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import MLP, Dense, Module, ModuleList, Parameter, Tensor, concatenate, init
+from .base import DeepCTRModel
+
+__all__ = ["CrossNetwork", "CrossNetworkMatrix", "DCNModel", "DCNMModel"]
+
+
+class CrossNetwork(Module):
+    """Vector cross layers: ``x_{l+1} = x_0 * (x_l · w_l) + b_l + x_l``."""
+
+    def __init__(self, width: int, num_layers: int, rng: np.random.Generator):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one cross layer")
+        self.weights = [Parameter(init.xavier_uniform((width, 1), rng))
+                        for _ in range(num_layers)]
+        self.biases = [Parameter(np.zeros(width)) for _ in range(num_layers)]
+
+    def forward(self, x0: Tensor) -> Tensor:
+        x = x0
+        for w, b in zip(self.weights, self.biases):
+            scale = x @ w  # (B, 1)
+            x = x0 * scale + b + x
+        return x
+
+
+class CrossNetworkMatrix(Module):
+    """DCN-M cross layers: ``x_{l+1} = x_0 * (W_l x_l + b_l) + x_l``."""
+
+    def __init__(self, width: int, num_layers: int, rng: np.random.Generator):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one cross layer")
+        self.weights = [Parameter(init.xavier_uniform((width, width), rng))
+                        for _ in range(num_layers)]
+        self.biases = [Parameter(np.zeros(width)) for _ in range(num_layers)]
+
+    def forward(self, x0: Tensor) -> Tensor:
+        x = x0
+        for w, b in zip(self.weights, self.biases):
+            x = x0 * (x @ w + b) + x
+        return x
+
+
+class _DCNBase(DeepCTRModel):
+    """Shared skeleton: cross network in parallel with a deep tower."""
+
+    cross_cls = CrossNetwork
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator, num_cross_layers: int = 3,
+                 hidden_sizes: tuple[int, ...] = (40, 40, 40)):
+        super().__init__(schema, embedding_dim, rng)
+        width = self.embedder.flat_width
+        self.cross = self.cross_cls(width, num_cross_layers, rng)
+        self.deep = MLP(width, list(hidden_sizes), rng, activation="relu")
+        self.head = Dense(width + hidden_sizes[-1], 1, rng)
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        x0 = self.embedder.field_vectors(batch).flatten_from(1)
+        crossed = self.cross(x0)
+        deep = self.deep(x0)
+        return self.head(concatenate([crossed, deep], axis=1)).squeeze(-1)
+
+
+class DCNModel(_DCNBase):
+    """Deep & Cross Network with vector cross layers."""
+
+    cross_cls = CrossNetwork
+
+
+class DCNMModel(_DCNBase):
+    """DCN-M: the matrix-valued cross network of DCN-V2."""
+
+    cross_cls = CrossNetworkMatrix

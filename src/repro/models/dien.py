@@ -1,0 +1,81 @@
+"""DIEN: Deep Interest Evolution Network (Zhou et al., 2019).
+
+Two-stage interest modelling over the item history: a GRU extracts per-step
+interest states, an auxiliary loss supervises them with next-behaviour
+prediction, and an attention-gated AUGRU evolves the states toward the
+candidate item.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import AUGRU, GRU, MLP, DotProductAttention, Tensor, concatenate
+from ..nn import functional as F
+from .base import DeepCTRModel
+
+__all__ = ["DIENModel"]
+
+
+class DIENModel(DeepCTRModel):
+    """GRU interest extraction + AUGRU interest evolution + deep tower."""
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator,
+                 hidden_sizes: tuple[int, ...] = (40, 40, 40, 1),
+                 aux_weight: float = 0.5):
+        super().__init__(schema, embedding_dim, rng)
+        self.aux_weight = aux_weight
+        self.extractor = GRU(embedding_dim, embedding_dim, rng)
+        self.evolver = AUGRU(embedding_dim, embedding_dim, rng)
+        self.attention = DotProductAttention(embedding_dim, rng)
+        self._aux_rng = np.random.default_rng(rng.integers(1 << 31))
+        width = (schema.num_categorical + 1 +
+                 max(0, schema.num_sequential - 1)) * embedding_dim
+        self.tower = MLP(width, list(hidden_sizes), rng, activation="relu")
+
+    def _interest_states(self, batch: Batch) -> tuple[Tensor, Tensor]:
+        behaviours = self.embedder.sequence_field_embedding(batch, 0)
+        states, _ = self.extractor(behaviours, batch.mask)
+        return behaviours, states
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        _, states = self._interest_states(batch)
+        candidate = self.embedder.candidate_embedding(batch, "item")
+        scores = self.attention.scores(states, candidate, batch.mask)
+        _, final = self.evolver(states, scores, batch.mask)
+        columns = [self.embedder.categorical_embeddings(batch).flatten_from(1), final]
+        # Remaining sequential fields (category/seller histories) mean-pool.
+        for j in range(1, self.schema.num_sequential):
+            columns.append(self.embedder.masked_mean_pool(
+                self.embedder.sequence_field_embedding(batch, j), batch.mask))
+        return self.tower(concatenate(columns, axis=1)).squeeze(-1)
+
+    def auxiliary_loss(self, batch: Batch) -> Tensor:
+        """Next-behaviour discrimination on the extracted interest states.
+
+        The state at step t should score the *true* behaviour at t+1 higher
+        than a behaviour shuffled in from another sample of the batch.
+        """
+        behaviours, states = self._interest_states(batch)
+        valid = batch.mask[:, 1:] & batch.mask[:, :-1]
+        if not valid.any():
+            return Tensor(0.0)
+        h = states[:, :-1, :]
+        positive = behaviours[:, 1:, :]
+        # In-batch negatives: roll the behaviour tensor along the batch axis.
+        shift = 1 + int(self._aux_rng.integers(max(1, len(batch) - 1)))
+        negative = Tensor(np.roll(positive.data, shift, axis=0))
+        pos_logit = (h * positive).sum(axis=-1)
+        neg_logit = (h * negative).sum(axis=-1)
+        weights = Tensor(valid.astype(np.float64) / valid.sum())
+        pos_term = (pos_logit.sigmoid() + 1e-9).log() * weights
+        neg_term = ((1.0 - neg_logit.sigmoid()) + 1e-9).log() * weights
+        return -(pos_term + neg_term).sum()
+
+    def training_loss(self, batch: Batch) -> Tensor:
+        main = F.binary_cross_entropy_with_logits(self.predict_logits(batch),
+                                                  batch.labels)
+        return main + self.aux_weight * self.auxiliary_loss(batch)

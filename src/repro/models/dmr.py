@@ -1,0 +1,55 @@
+"""DMR: Deep Match to Rank (Lyu et al., 2020).
+
+Combines a *user-to-item* network (an attention-pooled user representation
+whose inner product with the candidate acts as a match score) with an
+*item-to-item* network (candidate-conditioned attention over the behaviours,
+position-aware), feeding both the representations and the match scores into
+the ranking tower.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import MLP, Dense, LocalActivationUnit, Parameter, Tensor, concatenate, init
+from ..nn import functional as F
+from .base import DeepCTRModel
+
+__all__ = ["DMRModel"]
+
+
+class DMRModel(DeepCTRModel):
+    """User-to-item and item-to-item matching on top of shared embeddings."""
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator,
+                 hidden_sizes: tuple[int, ...] = (40, 40, 40, 1)):
+        super().__init__(schema, embedding_dim, rng)
+        self.position = Parameter(init.normal((schema.max_seq_len, embedding_dim),
+                                              rng, std=0.01))
+        self.u2i_query = Dense(embedding_dim, embedding_dim, rng, activation="tanh")
+        self.u2i_score = Dense(embedding_dim, 1, rng)
+        self.i2i = LocalActivationUnit(embedding_dim, rng)
+        width = (schema.num_categorical + 2) * embedding_dim + 2
+        self.tower = MLP(width, list(hidden_sizes), rng, activation="relu")
+
+    def _user_representation(self, sequence: Tensor, mask: np.ndarray) -> Tensor:
+        """Position-aware additive attention pooling (no candidate input)."""
+        pos = self.position.expand_dims(0).broadcast_to(sequence.shape)
+        raw = self.u2i_score(self.u2i_query(sequence + pos)).squeeze(-1)
+        weights = F.masked_softmax(raw, mask, axis=-1)
+        return (sequence * weights.expand_dims(-1)).sum(axis=1)
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        sequence = self.embedder.sequence_field_embedding(batch, 0)
+        candidate = self.embedder.candidate_embedding(batch, "item")
+        user_rep = self._user_representation(sequence, batch.mask)
+        u2i_match = (user_rep * candidate).sum(axis=-1, keepdims=True)
+        i2i_rep = self.i2i(sequence, candidate, batch.mask)
+        i2i_match = (i2i_rep * candidate).sum(axis=-1, keepdims=True)
+        categorical = self.embedder.categorical_embeddings(batch).flatten_from(1)
+        features = concatenate(
+            [categorical, user_rep, i2i_rep, u2i_match, i2i_match], axis=1)
+        return self.tower(features).squeeze(-1)

@@ -1,0 +1,72 @@
+"""FiGNN (Li et al., 2019): feature interactions via a field graph.
+
+Fields are nodes of a complete directed graph (built with networkx so the
+topology is explicit and testable).  Node states exchange edge-weighted
+messages for a fixed number of propagation steps, with a GRU-style state
+update, and an attentional read-out produces the logit.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import Dense, MultiHeadSelfAttention, Parameter, Tensor, init
+from .base import DeepCTRModel
+
+__all__ = ["FiGNNModel", "build_field_graph"]
+
+
+def build_field_graph(num_fields: int) -> nx.DiGraph:
+    """Complete directed field graph without self-loops."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(num_fields))
+    graph.add_edges_from((i, j) for i in range(num_fields)
+                         for j in range(num_fields) if i != j)
+    return graph
+
+
+class FiGNNModel(DeepCTRModel):
+    """Graph neural network over the field-embedding nodes.
+
+    One of the three MISS backbones in the compatibility study (Table V).
+    """
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator, num_steps: int = 2):
+        super().__init__(schema, embedding_dim, rng)
+        if num_steps < 1:
+            raise ValueError("need at least one propagation step")
+        self.num_steps = num_steps
+        num_fields = schema.num_fields
+        self.graph = build_field_graph(num_fields)
+        self._adjacency = nx.to_numpy_array(self.graph, nodelist=range(num_fields))
+        # Learnable edge importance on top of the fixed topology.
+        self.edge_weight = Parameter(np.zeros((num_fields, num_fields)))
+        self.self_attention = MultiHeadSelfAttention(embedding_dim, 2, rng)
+        self.w_message = Parameter(init.xavier_uniform(
+            (self.self_attention.out_features, self.self_attention.out_features), rng))
+        self.w_update = Parameter(init.xavier_uniform(
+            (self.self_attention.out_features, self.self_attention.out_features), rng))
+        self.readout_score = Dense(self.self_attention.out_features, 1, rng)
+        self.readout_value = Dense(self.self_attention.out_features, 1, rng)
+
+    def _propagation_matrix(self) -> Tensor:
+        """Row-normalised edge weights restricted to the graph topology."""
+        masked = self.edge_weight * Tensor(self._adjacency)
+        gate = masked.exp() * Tensor(self._adjacency)
+        return gate / (gate.sum(axis=1, keepdims=True) + 1e-9)
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        fields = self.embedder.field_vectors(batch)
+        state = self.self_attention(fields)  # initial node states
+        adjacency = self._propagation_matrix()  # (F, F)
+        for _ in range(self.num_steps):
+            messages = state @ self.w_message  # (B, F, D)
+            aggregated = adjacency @ messages  # broadcast (F,F)@(B,F,D)
+            state = (aggregated @ self.w_update + state).tanh() + state
+        scores = self.readout_score(state).squeeze(-1)  # (B, F)
+        values = self.readout_value(state).squeeze(-1)  # (B, F)
+        return (scores.sigmoid() * values).sum(axis=1)

@@ -1,0 +1,57 @@
+"""Factorization Machines (Rendle, 2010) and DeepFM (Guo et al., 2017)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import MLP, Tensor
+from .base import DeepCTRModel
+from .lr import LRModel
+
+__all__ = ["FMModel", "DeepFMModel", "fm_second_order"]
+
+
+def fm_second_order(field_vectors: Tensor) -> Tensor:
+    """FM pairwise-interaction term from ``(B, F, K)`` field embeddings.
+
+    Uses the O(FK) identity ``0.5 * ((Σ v)^2 - Σ v^2)`` summed over K.
+    """
+    summed = field_vectors.sum(axis=1)
+    square_of_sum = summed * summed
+    sum_of_square = (field_vectors * field_vectors).sum(axis=1)
+    return ((square_of_sum - sum_of_square) * 0.5).sum(axis=1)
+
+
+class FMModel(DeepCTRModel):
+    """First-order weights + factorised second-order interactions."""
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator):
+        super().__init__(schema, embedding_dim, rng)
+        self.linear = LRModel(schema, rng)
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        first = self.linear.predict_logits(batch)
+        second = fm_second_order(self.embedder.field_vectors(batch))
+        return first + second
+
+
+class DeepFMModel(DeepCTRModel):
+    """FM and a deep tower sharing the same embeddings (paper baseline)."""
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator,
+                 hidden_sizes: tuple[int, ...] = (40, 40, 40, 1)):
+        super().__init__(schema, embedding_dim, rng)
+        self.linear = LRModel(schema, rng)
+        self.deep = MLP(self.embedder.flat_width, list(hidden_sizes), rng,
+                        activation="relu")
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        fields = self.embedder.field_vectors(batch)
+        first = self.linear.predict_logits(batch)
+        second = fm_second_order(fields)
+        deep = self.deep(fields.flatten_from(1)).squeeze(-1)
+        return first + second + deep

@@ -1,0 +1,106 @@
+"""Shared embedding front-end for every CTR model (Eq. 3 of the paper).
+
+One embedding table per categorical field; each sequential field *shares* the
+table of its paired categorical field (item history shares the candidate-item
+table, and so on).  This sharing is load-bearing for MISS: the SSL losses are
+applied to sequence embeddings, and because the candidate item lives in the
+same table, better-organised sequence embeddings directly improve CTR
+prediction on sparse labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import Embedding, Module, ModuleList, Tensor, stack
+
+__all__ = ["FeatureEmbedder"]
+
+
+class FeatureEmbedder(Module):
+    """Embeds a :class:`Batch` into dense tensors.
+
+    Attributes:
+        schema: The dataset schema driving table sizes and field pairing.
+        embedding_dim: The paper's ``K`` (default 10).
+    """
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.schema = schema
+        self.embedding_dim = embedding_dim
+        self.tables = ModuleList([
+            Embedding(spec.vocab_size, embedding_dim, rng)
+            for spec in schema.categorical
+        ])
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def categorical_embeddings(self, batch: Batch) -> Tensor:
+        """``(B, I, K)`` embeddings of the categorical features."""
+        columns = [
+            self.tables[i](batch.categorical[:, i])
+            for i in range(self.schema.num_categorical)
+        ]
+        return stack(columns, axis=1)
+
+    def sequence_embeddings(self, batch: Batch) -> Tensor:
+        """The tensor ``C ∈ (B, J, L, K)`` of Eq. 18."""
+        rows = []
+        for j, table_index in enumerate(self.schema.paired_with):
+            rows.append(self.tables[table_index](batch.sequences[:, j, :]))
+        return stack(rows, axis=1)
+
+    def candidate_embedding(self, batch: Batch, field: str = "item") -> Tensor:
+        """``(B, K)`` embedding of one candidate-side categorical field."""
+        index = self.schema.categorical_index(field)
+        return self.tables[index](batch.categorical[:, index])
+
+    def sequence_field_embedding(self, batch: Batch, j: int) -> Tensor:
+        """``(B, L, K)`` embeddings of the j-th sequential field."""
+        table_index = self.schema.paired_with[j]
+        return self.tables[table_index](batch.sequences[:, j, :])
+
+    # ------------------------------------------------------------------
+    # Pooling helpers
+    # ------------------------------------------------------------------
+    def masked_mean_pool(self, sequence: Tensor, mask: np.ndarray) -> Tensor:
+        """Mean over valid positions of ``(B, L, K)`` → ``(B, K)``.
+
+        Fully padded rows pool to zero.
+        """
+        weights = mask.astype(np.float64)
+        denom = np.maximum(weights.sum(axis=1, keepdims=True), 1.0)
+        normalized = Tensor((weights / denom)[:, :, None])
+        return (sequence * normalized).sum(axis=1)
+
+    def field_vectors(self, batch: Batch) -> Tensor:
+        """``(B, I + J, K)``: one vector per field.
+
+        Categorical fields use their embedding directly; sequential fields
+        are masked-mean pooled.  This is the common input format for the
+        feature-interaction models (FM, DeepFM, IPNN, DCN, xDeepFM, AutoInt,
+        FiGNN).
+        """
+        columns = [
+            self.tables[i](batch.categorical[:, i])
+            for i in range(self.schema.num_categorical)
+        ]
+        for j in range(self.schema.num_sequential):
+            pooled = self.masked_mean_pool(
+                self.sequence_field_embedding(batch, j), batch.mask)
+            columns.append(pooled)
+        return stack(columns, axis=1)
+
+    @property
+    def num_fields(self) -> int:
+        return self.schema.num_fields
+
+    @property
+    def flat_width(self) -> int:
+        """Width of the concatenated field vectors."""
+        return self.num_fields * self.embedding_dim

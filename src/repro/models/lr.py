@@ -1,0 +1,40 @@
+"""Logistic Regression baseline (Lee et al., 2012): first-order weights only."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import Embedding, ModuleList, Parameter, Tensor
+from .base import CTRModel
+
+__all__ = ["LRModel"]
+
+
+class LRModel(CTRModel):
+    """``logit = b + Σ w_f`` over all active features.
+
+    Each categorical field contributes one scalar weight per id; each
+    sequential field contributes the masked mean of its ids' weights, which
+    matches the standard multi-hot encoding of behaviour histories.
+    """
+
+    def __init__(self, schema: DatasetSchema, rng: np.random.Generator):
+        super().__init__(schema)
+        self.weights = ModuleList([
+            Embedding(spec.vocab_size, 1, rng) for spec in schema.categorical
+        ])
+        self.bias = Parameter(np.zeros(1))
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        logit = None
+        for i in range(self.schema.num_categorical):
+            term = self.weights[i](batch.categorical[:, i]).squeeze(-1)
+            logit = term if logit is None else logit + term
+        denom = np.maximum(batch.mask.sum(axis=1, keepdims=True), 1.0)
+        pooling = Tensor(batch.mask.astype(np.float64) / denom)
+        for j, table_index in enumerate(self.schema.paired_with):
+            w = self.weights[table_index](batch.sequences[:, j, :]).squeeze(-1)
+            logit = logit + (w * pooling).sum(axis=1)
+        return logit + self.bias.broadcast_to(logit.shape)

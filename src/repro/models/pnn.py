@@ -1,0 +1,39 @@
+"""IPNN: Product-based Neural Network with inner products (Qu et al., 2019).
+
+IPNN is one of the three backbones the paper plugs MISS into (Table V), so it
+exposes the shared embedder like every other :class:`DeepCTRModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import MLP, Tensor, concatenate
+from .base import DeepCTRModel
+
+__all__ = ["IPNNModel"]
+
+
+class IPNNModel(DeepCTRModel):
+    """MLP over [field embeddings ; pairwise inner products]."""
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator,
+                 hidden_sizes: tuple[int, ...] = (40, 40, 40, 1)):
+        super().__init__(schema, embedding_dim, rng)
+        num_fields = schema.num_fields
+        self._pair_index = np.triu_indices(num_fields, k=1)
+        product_width = num_fields * (num_fields - 1) // 2
+        self.tower = MLP(self.embedder.flat_width + product_width,
+                         list(hidden_sizes), rng, activation="relu")
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        fields = self.embedder.field_vectors(batch)  # (B, F, K)
+        # Gram matrix of the fields gives every pairwise inner product.
+        gram = fields @ fields.swapaxes(1, 2)  # (B, F, F)
+        rows, cols = self._pair_index
+        products = gram[:, rows, cols]  # (B, F*(F-1)/2)
+        features = concatenate([fields.flatten_from(1), products], axis=1)
+        return self.tower(features).squeeze(-1)

@@ -1,0 +1,50 @@
+"""Model registry: names used in the paper's tables → constructors."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data.schema import DatasetSchema
+from .autoint import AutoIntModel
+from .base import CTRModel
+from .dcn import DCNMModel, DCNModel
+from .dien import DIENModel
+from .din import DINModel
+from .dmr import DMRModel
+from .fignn import FiGNNModel
+from .fm import DeepFMModel, FMModel
+from .lr import LRModel
+from .pnn import IPNNModel
+from .sim import SIMSoftModel
+from .xdeepfm import XDeepFMModel
+
+__all__ = ["MODEL_NAMES", "create_model"]
+
+_FACTORIES: dict[str, Callable[..., CTRModel]] = {
+    "LR": lambda schema, dim, rng, **kw: LRModel(schema, rng),
+    "FM": lambda schema, dim, rng, **kw: FMModel(schema, dim, rng),
+    "DeepFM": lambda schema, dim, rng, **kw: DeepFMModel(schema, dim, rng, **kw),
+    "IPNN": lambda schema, dim, rng, **kw: IPNNModel(schema, dim, rng, **kw),
+    "DCN": lambda schema, dim, rng, **kw: DCNModel(schema, dim, rng, **kw),
+    "DCN-M": lambda schema, dim, rng, **kw: DCNMModel(schema, dim, rng, **kw),
+    "xDeepFM": lambda schema, dim, rng, **kw: XDeepFMModel(schema, dim, rng, **kw),
+    "DIN": lambda schema, dim, rng, **kw: DINModel(schema, dim, rng, **kw),
+    "DIEN": lambda schema, dim, rng, **kw: DIENModel(schema, dim, rng, **kw),
+    "SIM(soft)": lambda schema, dim, rng, **kw: SIMSoftModel(schema, dim, rng, **kw),
+    "DMR": lambda schema, dim, rng, **kw: DMRModel(schema, dim, rng, **kw),
+    "AutoInt+": lambda schema, dim, rng, **kw: AutoIntModel(schema, dim, rng, **kw),
+    "FiGNN": lambda schema, dim, rng, **kw: FiGNNModel(schema, dim, rng, **kw),
+}
+
+MODEL_NAMES = tuple(_FACTORIES)
+
+
+def create_model(name: str, schema: DatasetSchema, embedding_dim: int = 10,
+                 seed: int = 0, **kwargs) -> CTRModel:
+    """Instantiate a baseline by its paper name (e.g. ``"DIN"``)."""
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+    rng = np.random.default_rng(seed)
+    return _FACTORIES[name](schema, embedding_dim, rng, **kwargs)

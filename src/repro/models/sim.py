@@ -1,0 +1,63 @@
+"""SIM(soft): Search-based Interest Model with soft search (Pi et al., 2020).
+
+Stage one (General Search Unit) scores every behaviour against the candidate
+with a learned dot product and keeps the top-k most relevant ones; stage two
+(Exact Search Unit) applies precise attention pooling over the retrieved
+sub-sequence.  The "soft" variant searches in embedding space rather than by
+hard category match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import MLP, DotProductAttention, LocalActivationUnit, Tensor, concatenate, no_grad
+from .base import DeepCTRModel
+
+__all__ = ["SIMSoftModel"]
+
+
+class SIMSoftModel(DeepCTRModel):
+    """Two-stage relevance search over the behaviour history."""
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator, top_k: int = 10,
+                 hidden_sizes: tuple[int, ...] = (40, 40, 40, 1)):
+        super().__init__(schema, embedding_dim, rng)
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.top_k = top_k
+        self.search = DotProductAttention(embedding_dim, rng)
+        self.exact = LocalActivationUnit(embedding_dim, rng)
+        # +1: the soft-search pooled vector keeps the GSU differentiable,
+        # standing in for SIM's auxiliary search-stage loss.
+        width = (schema.num_categorical + schema.num_sequential + 1) * embedding_dim
+        self.tower = MLP(width, list(hidden_sizes), rng, activation="relu")
+
+    def _retrieve_mask(self, sequence: Tensor, candidate: Tensor,
+                       mask: np.ndarray) -> np.ndarray:
+        """Top-k retrieval mask; selection is data-dependent but not
+        differentiated through (index selection has zero gradient anyway)."""
+        with no_grad():
+            scores = self.search.scores(sequence.detach(), candidate.detach(),
+                                        mask).data
+        k = min(self.top_k, scores.shape[1])
+        top = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+        retrieved = np.zeros_like(mask)
+        np.put_along_axis(retrieved, top, True, axis=1)
+        return retrieved & mask
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        candidate = self.embedder.candidate_embedding(batch, "item")
+        pooled = []
+        for j in range(self.schema.num_sequential):
+            sequence = self.embedder.sequence_field_embedding(batch, j)
+            if j == 0:
+                retrieved = self._retrieve_mask(sequence, candidate, batch.mask)
+                pooled.append(self.search(sequence, candidate, batch.mask))
+            pooled.append(self.exact(sequence, candidate, retrieved))
+        categorical = self.embedder.categorical_embeddings(batch).flatten_from(1)
+        features = concatenate([categorical, *pooled], axis=1)
+        return self.tower(features).squeeze(-1)

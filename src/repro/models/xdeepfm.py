@@ -1,0 +1,73 @@
+"""xDeepFM (Lian et al., 2018): Compressed Interaction Network + deep tower."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..data.schema import DatasetSchema
+from ..nn import MLP, Dense, Module, Parameter, Tensor, concatenate, init
+from .base import DeepCTRModel
+from .lr import LRModel
+
+__all__ = ["CIN", "XDeepFMModel"]
+
+
+class CIN(Module):
+    """Compressed Interaction Network over ``(B, F, K)`` field embeddings.
+
+    Layer ``k`` computes every outer interaction between the previous layer's
+    feature maps and the raw fields, then compresses them with a learned
+    ``(H_k, H_{k-1}·F)`` matrix.  The per-layer sum-pooling over K yields the
+    final explicit-interaction features.
+    """
+
+    def __init__(self, num_fields: int, layer_sizes: tuple[int, ...],
+                 rng: np.random.Generator):
+        super().__init__()
+        if not layer_sizes:
+            raise ValueError("CIN needs at least one layer")
+        self.layer_sizes = layer_sizes
+        self.weights = []
+        previous = num_fields
+        for size in layer_sizes:
+            self.weights.append(
+                Parameter(init.xavier_uniform((size, previous * num_fields), rng)))
+            previous = size
+        self.out_features = sum(layer_sizes)
+
+    def forward(self, fields: Tensor) -> Tensor:
+        batch, num_fields, dim = fields.shape
+        x0 = fields
+        x = fields
+        pooled = []
+        for weight in self.weights:
+            # Outer interactions: (B, H_prev, 1, K) * (B, 1, F, K)
+            z = x.expand_dims(2) * x0.expand_dims(1)
+            z = z.reshape((batch, x.shape[1] * num_fields, dim))
+            x = weight @ z  # (H_k, H_prev*F) @ (B, H_prev*F, K) -> (B, H_k, K)
+            x = x.relu()
+            pooled.append(x.sum(axis=2))  # (B, H_k)
+        return concatenate(pooled, axis=1)
+
+
+class XDeepFMModel(DeepCTRModel):
+    """Linear + CIN + deep tower, combined at the logit level."""
+
+    def __init__(self, schema: DatasetSchema, embedding_dim: int,
+                 rng: np.random.Generator,
+                 cin_sizes: tuple[int, ...] = (8, 8),
+                 hidden_sizes: tuple[int, ...] = (40, 40, 40, 1)):
+        super().__init__(schema, embedding_dim, rng)
+        self.linear = LRModel(schema, rng)
+        self.cin = CIN(schema.num_fields, cin_sizes, rng)
+        self.cin_head = Dense(self.cin.out_features, 1, rng)
+        self.deep = MLP(self.embedder.flat_width, list(hidden_sizes), rng,
+                        activation="relu")
+
+    def predict_logits(self, batch: Batch) -> Tensor:
+        fields = self.embedder.field_vectors(batch)
+        linear = self.linear.predict_logits(batch)
+        explicit = self.cin_head(self.cin(fields)).squeeze(-1)
+        deep = self.deep(fields.flatten_from(1)).squeeze(-1)
+        return linear + explicit + deep

@@ -1,0 +1,49 @@
+"""Numpy-backed neural-network substrate (autograd engine, layers, optimisers).
+
+This subpackage replaces the PyTorch/TensorFlow dependency of the original
+MISS implementation with a self-contained reverse-mode autodiff framework.
+"""
+
+from . import functional
+from .attention import DotProductAttention, LocalActivationUnit, MultiHeadSelfAttention
+from .conv import HorizontalConv, VerticalConv
+from .layers import (
+    MLP,
+    Dense,
+    Dice,
+    Dropout,
+    Embedding,
+    Identity,
+    PReLU,
+    Sequential,
+    get_activation,
+)
+from .module import Buffer, Module, ModuleList, Parameter
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .recurrent import AUGRU, GRU, LSTM
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+
+__all__ = [
+    "functional",
+    "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
+    "concatenate", "stack", "where", "maximum", "minimum",
+    "Module", "ModuleList", "Parameter", "Buffer",
+    "Dense", "Embedding", "Dropout", "MLP", "Sequential",
+    "PReLU", "Dice", "Identity", "get_activation",
+    "HorizontalConv", "VerticalConv",
+    "LSTM", "GRU", "AUGRU",
+    "LocalActivationUnit", "MultiHeadSelfAttention", "DotProductAttention",
+    "Optimizer", "SGD", "Adam", "clip_grad_norm",
+    "save_checkpoint", "load_checkpoint",
+]

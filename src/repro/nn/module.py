@@ -1,0 +1,170 @@
+"""Module system: parameter containers with recursive discovery.
+
+Mirrors the familiar ``torch.nn.Module`` contract at the scale this
+reproduction needs: parameter registration by attribute assignment, recursive
+``parameters()`` / ``named_parameters()``, train/eval mode propagation, and
+``state_dict`` round-tripping for the pre-training strategy of Table IX.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Buffer", "Module", "ModuleList"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable model weight."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Buffer:
+    """Non-trainable state saved alongside parameters (e.g. running stats).
+
+    Buffers participate in ``state_dict``/``load_state_dict`` so that
+    checkpoint restore reproduces evaluation-time behaviour exactly, but they
+    receive no gradients and are ignored by optimisers.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = np.asarray(value, dtype=np.float64)
+
+
+class Module:
+    """Base class for all neural-network components."""
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Parameter and submodule discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            path = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{path}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{path}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, Buffer]]:
+        for name, value in vars(self).items():
+            path = f"{prefix}{name}"
+            if isinstance(value, Buffer):
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_buffers(prefix=f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Buffer):
+                        yield f"{path}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_buffers(prefix=f"{path}.{i}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights (used by complexity tests)."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Train / eval modes
+    # ------------------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Gradient and state management
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        state.update({f"{name}@buffer": b.value.copy()
+                      for name, b in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        params = dict(self.named_parameters())
+        buffers = {f"{name}@buffer": b for name, b in self.named_buffers()}
+        own: dict[str, object] = {**params, **buffers}
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}")
+        for name, array in state.items():
+            if name not in own:
+                continue
+            target = own[name]
+            if isinstance(target, Buffer):
+                if target.value.shape != array.shape:
+                    raise ValueError(f"shape mismatch for buffer {name}")
+                target.value = np.array(array, dtype=np.float64)
+            else:
+                if target.shape != array.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name}: model {target.shape} vs "
+                        f"state {array.shape}")
+                target.data = np.array(array, dtype=np.float64)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ModuleList(Module):
+    """An indexable container whose entries are registered submodules."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self.items = list(modules)
+
+    def append(self, module: Module) -> None:
+        self.items.append(module)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.items[index]

@@ -1,0 +1,121 @@
+"""Recurrent cells: LSTM, GRU, and DIEN's attention-gated AUGRU.
+
+All cells operate on ``(B, L, K)`` inputs and honour a boolean validity mask
+``(B, L)`` so that padded time steps leave the hidden state untouched.  The
+time loop is a plain Python loop — behaviour sequences in the reproduction
+are at most a few dozen steps, so per-step numpy kernels dominate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, where
+
+__all__ = ["LSTM", "GRU", "AUGRU"]
+
+
+def _step_mask(mask_column: np.ndarray, new: Tensor, old: Tensor) -> Tensor:
+    """Keep ``new`` where the step is valid, otherwise carry ``old`` forward."""
+    return where(mask_column[:, None], new, old)
+
+
+class LSTM(Module):
+    """Single-layer LSTM returning per-step hidden states and the final state."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(init.xavier_uniform((input_size, 4 * hidden_size), rng))
+        self.w_h = Parameter(init.xavier_uniform((hidden_size, 4 * hidden_size), rng))
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size:2 * hidden_size] = 1.0  # forget-gate bias trick
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        batch, seq_len, _ = x.shape
+        if mask is None:
+            mask = np.ones((batch, seq_len), dtype=bool)
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        hidden = self.hidden_size
+        outputs = []
+        for t in range(seq_len):
+            gates = x[:, t, :] @ self.w_x + h @ self.w_h + self.bias
+            i = gates[:, :hidden].sigmoid()
+            f = gates[:, hidden:2 * hidden].sigmoid()
+            g = gates[:, 2 * hidden:3 * hidden].tanh()
+            o = gates[:, 3 * hidden:].sigmoid()
+            c_new = f * c + i * g
+            h_new = o * c_new.tanh()
+            c = _step_mask(mask[:, t], c_new, c)
+            h = _step_mask(mask[:, t], h_new, h)
+            outputs.append(h.expand_dims(1))
+        from .tensor import concatenate
+        return concatenate(outputs, axis=1), h
+
+
+class GRU(Module):
+    """Single-layer GRU; used by DIEN's interest-extraction layer."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(init.xavier_uniform((input_size, 3 * hidden_size), rng))
+        self.w_h = Parameter(init.xavier_uniform((hidden_size, 3 * hidden_size), rng))
+        self.bias = Parameter(np.zeros(3 * hidden_size))
+
+    def _cell(self, x_t: Tensor, h: Tensor, update_scale: Tensor | None = None) -> Tensor:
+        hidden = self.hidden_size
+        gx = x_t @ self.w_x + self.bias
+        gh = h @ self.w_h
+        r = (gx[:, :hidden] + gh[:, :hidden]).sigmoid()
+        z = (gx[:, hidden:2 * hidden] + gh[:, hidden:2 * hidden]).sigmoid()
+        if update_scale is not None:
+            z = z * update_scale
+        n = (gx[:, 2 * hidden:] + r * gh[:, 2 * hidden:]).tanh()
+        return (1.0 - z) * h + z * n
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
+        batch, seq_len, _ = x.shape
+        if mask is None:
+            mask = np.ones((batch, seq_len), dtype=bool)
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs = []
+        for t in range(seq_len):
+            h_new = self._cell(x[:, t, :], h)
+            h = _step_mask(mask[:, t], h_new, h)
+            outputs.append(h.expand_dims(1))
+        from .tensor import concatenate
+        return concatenate(outputs, axis=1), h
+
+
+class AUGRU(GRU):
+    """GRU with Attentional Update gate (DIEN's interest-evolution layer).
+
+    The per-step attention score (relevance of the behaviour to the candidate
+    item) rescales the update gate, so irrelevant behaviours barely move the
+    interest state.
+    """
+
+    def forward(self, x: Tensor, attention: Tensor, mask: np.ndarray | None = None
+                ) -> tuple[Tensor, Tensor]:
+        batch, seq_len, _ = x.shape
+        if mask is None:
+            mask = np.ones((batch, seq_len), dtype=bool)
+        if attention.shape[:2] != (batch, seq_len):
+            raise ValueError(
+                f"attention shape {attention.shape} does not match input {x.shape}")
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs = []
+        for t in range(seq_len):
+            score = attention[:, t].expand_dims(-1)
+            h_new = self._cell(x[:, t, :], h, update_scale=score)
+            h = _step_mask(mask[:, t], h_new, h)
+            outputs.append(h.expand_dims(1))
+        from .tensor import concatenate
+        return concatenate(outputs, axis=1), h

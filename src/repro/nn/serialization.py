@@ -1,0 +1,52 @@
+"""Checkpointing: save/load a module's state dict as a compressed ``.npz``.
+
+Used for the pre-training workflow of Table IX (pre-train once, fine-tune
+many configurations) and for shipping trained models between processes.
+Parameters and buffers are stored flat under their dotted names; loading is
+strict by default so silent architecture drift cannot go unnoticed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__repro_checkpoint_version__"
+_VERSION = 1
+
+
+def save_checkpoint(module: Module, path: str | Path) -> Path:
+    """Write ``module.state_dict()`` to ``path`` (``.npz`` appended if absent).
+
+    Returns the resolved path actually written.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    state = module.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"state dict may not use the reserved key {_META_KEY}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **state, **{_META_KEY: np.array(_VERSION)})
+    return path
+
+
+def load_checkpoint(module: Module, path: str | Path, strict: bool = True) -> None:
+    """Restore a checkpoint written by :func:`save_checkpoint` into ``module``."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        version = int(archive[_META_KEY]) if _META_KEY in archive else 0
+        if version > _VERSION:
+            raise ValueError(
+                f"checkpoint version {version} is newer than supported "
+                f"({_VERSION}); upgrade the library")
+        state = {name: archive[name] for name in archive.files
+                 if name != _META_KEY}
+    module.load_state_dict(state, strict=strict)

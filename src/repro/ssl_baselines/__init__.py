@@ -1,0 +1,31 @@
+"""Competing SSL enhancement methods (Table VI): Rule, IRSSL, S3Rec, CL4SRec."""
+
+from typing import Callable
+
+from ..models.base import DeepCTRModel
+from .base import SSLBaselineModel
+from .cl4srec import CL4SRecModel
+from .irssl import IRSSLModel
+from .rule import RuleSSLModel
+from .s3rec import S3RecModel
+
+__all__ = [
+    "SSLBaselineModel", "CL4SRecModel", "IRSSLModel", "RuleSSLModel",
+    "S3RecModel", "SSL_METHODS", "attach_ssl_baseline",
+]
+
+SSL_METHODS: dict[str, Callable[..., SSLBaselineModel]] = {
+    "Rule": RuleSSLModel,
+    "IRSSL": IRSSLModel,
+    "S3Rec": S3RecModel,
+    "CL4SRec": CL4SRecModel,
+}
+
+
+def attach_ssl_baseline(method: str, base: DeepCTRModel, alpha: float = 0.3,
+                        temperature: float = 0.1, seed: int = 0) -> SSLBaselineModel:
+    """Wrap ``base`` with the named SSL method, e.g. ``"CL4SRec"``."""
+    if method not in SSL_METHODS:
+        raise KeyError(f"unknown SSL method {method!r}; "
+                       f"choose from {tuple(SSL_METHODS)}")
+    return SSL_METHODS[method](base, alpha=alpha, temperature=temperature, seed=seed)

@@ -1,0 +1,92 @@
+"""High-level experiment runner shared by the benchmark harness and examples.
+
+``run_experiment`` owns the full protocol: train with validation-based model
+selection, fit the uniform Platt calibration on validation, and report
+calibrated AUC/Logloss on the test split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.batching import CTRDataset, DataLoader
+from ..data.processing import ProcessedData
+from ..models.base import CTRModel
+from ..nn import no_grad
+from .calibration import PlattScaler
+from .metrics import EvalResult, auc_score, logloss_score
+from .trainer import TrainConfig, Trainer, TrainResult
+
+__all__ = ["ExperimentResult", "predict_logits_array", "calibrated_eval",
+           "run_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one (model, dataset) cell in a results table."""
+
+    model_name: str
+    dataset_name: str
+    test: EvalResult
+    validation: EvalResult
+    train_result: TrainResult
+
+    @property
+    def auc(self) -> float:
+        return self.test.auc
+
+    @property
+    def logloss(self) -> float:
+        return self.test.logloss
+
+
+def predict_logits_array(model: CTRModel, dataset: CTRDataset,
+                         batch_size: int = 512) -> np.ndarray:
+    """Raw logits for every sample of ``dataset`` in eval mode."""
+    was_training = model.training
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    with no_grad():
+        logits = np.concatenate(
+            [model.predict_logits(batch).data for batch in loader])
+    if was_training:
+        model.train()
+    return logits
+
+
+def calibrated_eval(model: CTRModel, data: ProcessedData
+                    ) -> tuple[EvalResult, EvalResult]:
+    """(validation, test) metrics after Platt calibration on validation."""
+    val_logits = predict_logits_array(model, data.validation)
+    scaler = PlattScaler.fit(val_logits, data.validation.labels)
+    val_probs = scaler.transform(val_logits)
+    test_logits = predict_logits_array(model, data.test)
+    test_probs = scaler.transform(test_logits)
+    validation = EvalResult(auc=auc_score(data.validation.labels, val_probs),
+                            logloss=logloss_score(data.validation.labels, val_probs))
+    test = EvalResult(auc=auc_score(data.test.labels, test_probs),
+                      logloss=logloss_score(data.test.labels, test_probs))
+    return validation, test
+
+
+def run_experiment(model: CTRModel, data: ProcessedData, config: TrainConfig,
+                   model_name: str = "", train: CTRDataset | None = None,
+                   on_batch_end=None) -> ExperimentResult:
+    """Train ``model`` and return calibrated test metrics.
+
+    ``train`` overrides the training split (used by the corruption studies);
+    validation/test always come from ``data`` untouched.
+    """
+    train_split = train if train is not None else data.train
+    train_result = Trainer(config).fit(model, train_split, data.validation,
+                                       on_batch_end=on_batch_end)
+    validation, test = calibrated_eval(model, data)
+    return ExperimentResult(
+        model_name=model_name or type(model).__name__,
+        dataset_name=data.schema.name,
+        test=test,
+        validation=validation,
+        train_result=train_result,
+    )

@@ -1,0 +1,66 @@
+"""Evaluation metrics: AUC and Logloss (§VI-A4), plus relative improvement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["auc_score", "logloss_score", "relative_improvement", "EvalResult"]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """AUC/Logloss pair for one model on one split."""
+
+    auc: float
+    logloss: float
+
+    def __str__(self) -> str:
+        return f"AUC={self.auc:.4f} Logloss={self.logloss:.4f}"
+
+
+def auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Tied scores receive average ranks, so the estimate is exact in the
+    presence of ties.  Requires at least one positive and one negative.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError(f"shape mismatch: {labels.shape} vs {scores.shape}")
+    positives = labels == 1.0
+    num_pos = int(positives.sum())
+    num_neg = labels.size - num_pos
+    if num_pos == 0 or num_neg == 0:
+        raise ValueError("AUC undefined without both classes")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(scores)
+    ranks[order] = np.arange(1, scores.size + 1, dtype=np.float64)
+    # Average ranks across ties.
+    sorted_scores = scores[order]
+    boundaries = np.flatnonzero(np.diff(sorted_scores) != 0) + 1
+    groups = np.split(np.arange(scores.size), boundaries)
+    for group in groups:
+        if group.size > 1:
+            ranks[order[group]] = ranks[order[group]].mean()
+    rank_sum = ranks[positives].sum()
+    u_statistic = rank_sum - num_pos * (num_pos + 1) / 2.0
+    return float(u_statistic / (num_pos * num_neg))
+
+
+def logloss_score(labels: np.ndarray, probs: np.ndarray, eps: float = 1e-7) -> float:
+    """Mean binary cross-entropy between labels and predicted probabilities."""
+    labels = np.asarray(labels, dtype=np.float64)
+    probs = np.clip(np.asarray(probs, dtype=np.float64), eps, 1.0 - eps)
+    if labels.shape != probs.shape:
+        raise ValueError(f"shape mismatch: {labels.shape} vs {probs.shape}")
+    return float(-(labels * np.log(probs) + (1 - labels) * np.log(1 - probs)).mean())
+
+
+def relative_improvement(baseline: float, improved: float) -> float:
+    """The paper's RI column: ``(improved - baseline) / baseline`` in percent."""
+    if baseline == 0:
+        raise ZeroDivisionError("baseline metric is zero")
+    return 100.0 * (improved - baseline) / baseline

@@ -1,0 +1,123 @@
+"""Mini-batch training loop with validation-based model selection.
+
+Follows the paper's protocol (§VI-A5): Adam optimiser, batch size 128, the
+validation split drives hyper-parameter/epoch selection, and reported numbers
+come from the test split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..data.batching import Batch, CTRDataset, DataLoader
+from ..models.base import CTRModel
+from ..nn import Adam, clip_grad_norm
+from .metrics import EvalResult, auc_score, logloss_score
+
+__all__ = ["TrainConfig", "TrainResult", "Trainer", "evaluate"]
+
+BatchCallback = Callable[[CTRModel, Batch, int], None]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyper-parameters of one training run."""
+
+    epochs: int = 10
+    batch_size: int = 128
+    learning_rate: float = 1e-2
+    weight_decay: float = 1e-5
+    patience: int = 3          # early stopping on validation AUC
+    grad_clip: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    best_epoch: int
+    validation: EvalResult
+    history: list[EvalResult] = field(default_factory=list)
+    train_losses: list[float] = field(default_factory=list)
+
+
+def evaluate(model: CTRModel, dataset: CTRDataset, batch_size: int = 512) -> EvalResult:
+    """AUC/Logloss of ``model`` on ``dataset`` in eval mode."""
+    was_training = model.training
+    model.eval()
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    probs = np.concatenate([model.predict_proba(batch) for batch in loader])
+    if was_training:
+        model.train()
+    return EvalResult(auc=auc_score(dataset.labels, probs),
+                      logloss=logloss_score(dataset.labels, probs))
+
+
+class Trainer:
+    """Trains any :class:`CTRModel` via its ``training_loss`` hook.
+
+    The same trainer drives plain baselines, MISS-enhanced models, and the
+    SSL baselines — they only differ in what ``training_loss`` returns.
+    """
+
+    def __init__(self, config: TrainConfig):
+        self.config = config
+
+    def fit(self, model: CTRModel, train: CTRDataset, validation: CTRDataset,
+            on_batch_end: BatchCallback | None = None) -> TrainResult:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        loader = DataLoader(train, batch_size=cfg.batch_size, shuffle=True, rng=rng)
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate,
+                         weight_decay=cfg.weight_decay)
+        best_auc = -np.inf
+        best_state: dict[str, np.ndarray] | None = None
+        best_epoch = -1
+        bad_epochs = 0
+        history: list[EvalResult] = []
+        losses: list[float] = []
+        step = 0
+
+        model.train()
+        for epoch in range(cfg.epochs):
+            epoch_loss = 0.0
+            num_batches = 0
+            for batch in loader:
+                optimizer.zero_grad()
+                loss = model.training_loss(batch)
+                loss.backward()
+                clip_grad_norm(optimizer.parameters, cfg.grad_clip)
+                optimizer.step()
+                epoch_loss += loss.item()
+                num_batches += 1
+                step += 1
+                if on_batch_end is not None:
+                    on_batch_end(model, batch, step)
+            losses.append(epoch_loss / max(num_batches, 1))
+
+            result = evaluate(model, validation)
+            history.append(result)
+            if result.auc > best_auc:
+                best_auc = result.auc
+                best_state = model.state_dict()
+                best_epoch = epoch
+                bad_epochs = 0
+            else:
+                bad_epochs += 1
+                if bad_epochs >= cfg.patience:
+                    break
+
+        if best_state is not None:
+            model.load_state_dict(best_state)
+        return TrainResult(best_epoch=best_epoch, validation=history[best_epoch],
+                           history=history, train_losses=losses)

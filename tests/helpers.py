@@ -1,0 +1,52 @@
+"""Shared test utilities: numerical gradient checking and tiny fixtures."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray,
+                     eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        up = fn(x)
+        flat[i] = original - eps
+        down = fn(x)
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradients(build: Callable[[Sequence[Tensor]], Tensor],
+                    arrays: Sequence[np.ndarray],
+                    rtol: float = 1e-4, atol: float = 1e-6) -> None:
+    """Assert autograd gradients of ``build`` match central differences.
+
+    ``build`` receives tensors wrapping copies of ``arrays`` and must return a
+    scalar tensor.
+    """
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = build(tensors)
+    assert out.size == 1, "gradient check requires a scalar output"
+    out.backward()
+
+    for idx, array in enumerate(arrays):
+        def scalar_fn(x: np.ndarray, idx=idx) -> float:
+            probes = [Tensor(a.copy()) for a in arrays]
+            probes[idx] = Tensor(x.copy())
+            return float(build(probes).data)
+
+        expected = numeric_gradient(scalar_fn, array.copy())
+        actual = tensors[idx].grad
+        assert actual is not None, f"input {idx} received no gradient"
+        np.testing.assert_allclose(actual, expected, rtol=rtol, atol=atol,
+                                   err_msg=f"gradient mismatch for input {idx}")

@@ -1,0 +1,236 @@
+"""Tests for serialization, world diagnostics, the CLI, and the paper's
+future-work extensions (distance distributions, Transformer view encoder,
+harness-choice switches)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import build_parser, main
+from repro.core import (
+    DISTANCE_DISTRIBUTIONS,
+    MISSConfig,
+    MISSModule,
+    TransformerViewEncoder,
+    sample_distance,
+)
+from repro.core.encoders import FieldAwareViewEncoder, ViewEncoder
+from repro.data import (
+    InterestWorld,
+    InterestWorldConfig,
+    build_ctr_data,
+    diagnose_world,
+    topic_adjacency_curve,
+)
+from repro.models import FeatureEmbedder, create_model
+from repro.nn import MLP, Tensor, load_checkpoint, save_checkpoint
+
+
+@pytest.fixture(scope="module")
+def data():
+    config = InterestWorldConfig(num_users=30, num_items=80, num_topics=6,
+                                 num_categories=3, min_interactions=2, seed=5)
+    return build_ctr_data(InterestWorld(config), max_seq_len=10, seed=6)
+
+
+@pytest.fixture(scope="module")
+def batch(data):
+    return data.train.batch(np.arange(16))
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        model = MLP(4, [6, 2], np.random.default_rng(0))
+        path = save_checkpoint(model, tmp_path / "ckpt")
+        assert path.suffix == ".npz"
+        other = MLP(4, [6, 2], np.random.default_rng(9))
+        load_checkpoint(other, path)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 4)))
+        np.testing.assert_allclose(other(x).data, model(x).data)
+
+    def test_buffers_roundtrip(self, tmp_path, data, batch):
+        model = create_model("DIN", data.schema, seed=1)
+        model.training_loss(batch)  # populate Dice running stats
+        path = save_checkpoint(model, tmp_path / "din.npz")
+        other = create_model("DIN", data.schema, seed=2)
+        load_checkpoint(other, path)
+        model.eval()
+        other.eval()
+        np.testing.assert_allclose(other.predict_logits(batch).data,
+                                   model.predict_logits(batch).data)
+
+    def test_strict_mismatch_raises(self, tmp_path):
+        model = MLP(4, [6, 2], np.random.default_rng(0))
+        path = save_checkpoint(model, tmp_path / "a")
+        wrong = MLP(4, [5, 2], np.random.default_rng(0))
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(wrong, path)
+
+
+class TestDistanceDistributions:
+    @pytest.mark.parametrize("name", list(DISTANCE_DISTRIBUTIONS))
+    def test_samples_in_range(self, name):
+        rng = np.random.default_rng(0)
+        draws = [sample_distance(name, 4, rng) for _ in range(200)]
+        assert min(draws) >= 1 and max(draws) <= 4
+
+    def test_unknown_distribution(self):
+        with pytest.raises(KeyError):
+            sample_distance("cauchy", 3, np.random.default_rng(0))
+
+    def test_invalid_max_distance(self):
+        with pytest.raises(ValueError):
+            sample_distance("uniform", 0, np.random.default_rng(0))
+
+    def test_gaussian_prefers_short_distances(self):
+        rng = np.random.default_rng(1)
+        draws = np.array([sample_distance("gaussian", 4, rng)
+                          for _ in range(2000)])
+        counts = np.bincount(draws, minlength=5)[1:]
+        assert counts[0] > counts[-1]
+        assert np.all(np.diff(counts) <= 0)  # monotone decaying
+
+    def test_geometric_prefers_short_distances(self):
+        rng = np.random.default_rng(2)
+        draws = np.array([sample_distance("geometric", 4, rng)
+                          for _ in range(2000)])
+        counts = np.bincount(draws, minlength=5)[1:]
+        assert counts[0] > counts[1] > counts[3]
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.sampled_from(["uniform", "gaussian", "geometric"]),
+           st.integers(1, 8))
+    def test_any_distribution_any_bound(self, name, bound):
+        rng = np.random.default_rng(bound)
+        h = sample_distance(name, bound, rng)
+        assert 1 <= h <= bound
+
+    def test_miss_runs_with_each_distribution(self, data, batch):
+        emb = FeatureEmbedder(data.schema, 8, np.random.default_rng(1))
+        c = emb.sequence_embeddings(batch)
+        for name in DISTANCE_DISTRIBUTIONS:
+            module = MISSModule(data.schema, 8,
+                                MISSConfig(seed=0, distance_distribution=name),
+                                np.random.default_rng(0))
+            li, lf = module.ssl_losses(c, batch.mask, batch.sequences)
+            assert np.isfinite(li.item()) and np.isfinite(lf.item())
+
+
+class TestTransformerEncoder:
+    def test_shapes(self):
+        enc = TransformerViewEncoder(3, 8, (20, 20), np.random.default_rng(0))
+        view = Tensor(np.random.default_rng(1).normal(size=(5, 24)))
+        out = enc(view)
+        assert out.shape == (5, 20)
+
+    def test_width_check(self):
+        enc = TransformerViewEncoder(3, 8, (20,), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            enc(Tensor(np.zeros((2, 10))))
+
+    def test_miss_with_transformer_encoder(self, data, batch):
+        module = MISSModule(data.schema, 8,
+                            MISSConfig(seed=0, interest_encoder="transformer"),
+                            np.random.default_rng(0))
+        assert isinstance(module.interest_encoder, TransformerViewEncoder)
+        emb = FeatureEmbedder(data.schema, 8, np.random.default_rng(1))
+        li, _ = module.ssl_losses(emb.sequence_embeddings(batch), batch.mask)
+        assert np.isfinite(li.item())
+        li.backward()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MISSConfig(interest_encoder="gru")
+        with pytest.raises(ValueError):
+            MISSConfig(distance_distribution="levy")
+
+
+class TestHarnessSwitches:
+    def test_field_aware_encoder_switch(self, data):
+        aware = MISSModule(data.schema, 8, MISSConfig(seed=0),
+                           np.random.default_rng(0))
+        assert isinstance(aware.feature_encoder, FieldAwareViewEncoder)
+        plain = MISSModule(data.schema, 8,
+                           MISSConfig(seed=0, field_aware_encoder=False),
+                           np.random.default_rng(0))
+        assert isinstance(plain.feature_encoder, ViewEncoder)
+
+    def test_dedup_switch_changes_loss(self, data, batch):
+        emb = FeatureEmbedder(data.schema, 8, np.random.default_rng(1))
+        c = emb.sequence_embeddings(batch)
+        on = MISSModule(data.schema, 8,
+                        MISSConfig(seed=0, dedup_false_negatives=True),
+                        np.random.default_rng(0))
+        off = MISSModule(data.schema, 8,
+                         MISSConfig(seed=0, dedup_false_negatives=False),
+                         np.random.default_rng(0))
+        # Same parameters (same init seed), same rng stream → difference, if
+        # any, comes purely from the denominator masking.
+        off.load_state_dict(on.state_dict())
+        loss_on = sum(t.item() for t in on.ssl_losses(c, batch.mask,
+                                                      batch.sequences))
+        loss_off = sum(t.item() for t in off.ssl_losses(c, batch.mask,
+                                                        batch.sequences))
+        assert loss_on <= loss_off + 1e-9
+
+
+class TestWorldDiagnostics:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return InterestWorld(InterestWorldConfig(
+            num_users=80, num_items=150, num_topics=8, num_categories=4,
+            interests_per_user=(3, 5), seed=1))
+
+    def test_closeness_above_chance(self, world):
+        diag = diagnose_world(world)
+        assert diag.closeness > 0.4
+        assert 0 <= diag.recurrence <= 1
+        assert diag.missclick_rate == pytest.approx(0.05, abs=0.03)
+
+    def test_adjacency_curve_decays(self, world):
+        curve = topic_adjacency_curve(world, max_lag=6)
+        assert curve.shape == (6,)
+        assert curve[0] > curve[-1]
+        assert np.all((curve >= 0) & (curve <= 1))
+
+    def test_adjacency_curve_validation(self, world):
+        with pytest.raises(ValueError):
+            topic_adjacency_curve(world, max_lag=0)
+
+    def test_item_frequency_stats_ordered(self, world):
+        diag = diagnose_world(world)
+        assert diag.item_frequency_p90 >= diag.item_frequency_median >= 1
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["train", "--model", "LR", "--epochs", "2"])
+        assert args.command == "train"
+        assert args.model == "LR"
+
+    def test_train_command_runs(self, capsys):
+        code = main(["train", "--model", "LR", "--dataset", "amazon-cds",
+                     "--scale", "0.08", "--epochs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LR on amazon-cds" in out and "AUC" in out
+
+    def test_compare_command_runs(self, capsys):
+        code = main(["compare", "--models", "LR", "DeepFM",
+                     "--dataset", "amazon-cds", "--scale", "0.08",
+                     "--epochs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # MISS attaches to the first embedding-based model (LR has none).
+        assert "DeepFM-MISS" in out
+
+    def test_miss_rejects_shallow_models(self, data):
+        from repro.core import attach_miss
+        with pytest.raises(TypeError):
+            attach_miss(create_model("LR", data.schema, seed=1), MISSConfig())
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "GPT"])

@@ -1,0 +1,138 @@
+"""Tests for the competing SSL methods of Table VI."""
+
+import numpy as np
+import pytest
+
+from repro.data import InterestWorld, InterestWorldConfig, build_ctr_data
+from repro.models import create_model
+from repro.ssl_baselines import (
+    SSL_METHODS,
+    CL4SRecModel,
+    IRSSLModel,
+    RuleSSLModel,
+    S3RecModel,
+    attach_ssl_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    config = InterestWorldConfig(num_users=30, num_items=80, num_topics=6,
+                                 num_categories=3, min_interactions=2, seed=5)
+    return build_ctr_data(InterestWorld(config), max_seq_len=10, seed=6)
+
+
+@pytest.fixture(scope="module")
+def batch(data):
+    return data.train.batch(np.arange(16))
+
+
+class TestAttachment:
+    def test_registry_covers_table6(self):
+        assert set(SSL_METHODS) == {"Rule", "IRSSL", "S3Rec", "CL4SRec"}
+
+    def test_unknown_method(self, data):
+        with pytest.raises(KeyError):
+            attach_ssl_baseline("SimCLR", create_model("DIN", data.schema, seed=1))
+
+    @pytest.mark.parametrize("method", list(SSL_METHODS))
+    def test_training_loss_runs(self, data, batch, method):
+        base = create_model("DIN", data.schema, seed=1)
+        model = attach_ssl_baseline(method, base, seed=2)
+        loss = model.training_loss(batch)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        item_table = model.embedder.tables[1]
+        assert item_table.weight.grad is not None
+
+    @pytest.mark.parametrize("method", list(SSL_METHODS))
+    def test_prediction_delegates(self, data, batch, method):
+        base = create_model("DIN", data.schema, seed=1)
+        model = attach_ssl_baseline(method, base, seed=2)
+        model.eval()
+        base.eval()
+        np.testing.assert_allclose(model.predict_logits(batch).data,
+                                   base.predict_logits(batch).data)
+
+    def test_negative_alpha_rejected(self, data):
+        base = create_model("DIN", data.schema, seed=1)
+        with pytest.raises(ValueError):
+            CL4SRecModel(base, alpha=-1.0)
+
+    def test_no_duplicate_parameters(self, data):
+        base = create_model("DIN", data.schema, seed=1)
+        model = attach_ssl_baseline("CL4SRec", base, seed=2)
+        ids = [id(p) for _, p in model.named_parameters()]
+        assert len(ids) == len(set(ids))
+
+
+class TestCL4SRecOperators:
+    @pytest.fixture()
+    def model(self, data):
+        return CL4SRecModel(create_model("DIN", data.schema, seed=1), seed=2)
+
+    def test_crop_keeps_contiguous_span(self, model, batch):
+        cropped, _ = model._crop(batch.mask)
+        for b in range(len(batch)):
+            kept = np.flatnonzero(cropped[b])
+            if kept.size:
+                assert np.all(np.diff(kept) == 1)
+                assert batch.mask[b, kept].all()
+
+    def test_mask_never_empties_a_row(self, model, batch):
+        for _ in range(10):
+            masked, _ = model._mask(batch.mask)
+            valid_rows = batch.mask.any(axis=1)
+            assert masked[valid_rows].any(axis=1).all()
+            assert np.all(masked <= batch.mask)
+
+    def test_reorder_permutes_a_span(self, model, batch):
+        mask, permutation = model._reorder(batch.mask)
+        np.testing.assert_array_equal(mask, batch.mask)
+        assert sorted(permutation.tolist()) == list(range(batch.mask.shape[1]))
+        assert not np.array_equal(permutation, np.arange(batch.mask.shape[1]))
+
+    def test_views_differ(self, model, batch, data):
+        c = model.embedder.sequence_embeddings(batch)
+        v1, v2 = model.make_views(batch, c)
+        assert v1.shape == (16, data.schema.num_sequential * 10)
+        assert not np.allclose(v1.data, v2.data)
+
+
+class TestIRSSL:
+    def test_views_mask_complementary_fields(self, data, batch):
+        model = IRSSLModel(create_model("DIN", data.schema, seed=1), seed=2)
+        c = model.embedder.sequence_embeddings(batch)
+        v1, v2 = model.make_views(batch, c)
+        # Complementary masking: positions active in one view are zero in
+        # the other.
+        active1 = np.abs(v1.data).sum(axis=0) > 0
+        active2 = np.abs(v2.data).sum(axis=0) > 0
+        assert not np.any(active1 & active2)
+
+
+class TestS3Rec:
+    def test_segment_ratio_validation(self, data):
+        base = create_model("DIN", data.schema, seed=1)
+        with pytest.raises(ValueError):
+            S3RecModel(base, segment_ratio=0.0)
+
+    def test_views_are_segment_and_whole(self, data, batch):
+        model = S3RecModel(create_model("DIN", data.schema, seed=1), seed=2)
+        c = model.embedder.sequence_embeddings(batch)
+        v1, v2 = model.make_views(batch, c)
+        assert v1.shape == v2.shape
+        assert not np.allclose(v1.data, v2.data)
+
+
+class TestRule:
+    def test_category_segment_is_single_category(self, data, batch):
+        model = RuleSSLModel(create_model("DIN", data.schema, seed=1), seed=2)
+        segment = model._category_segment(batch)
+        j = data.schema.sequential_index("cate_seq")
+        categories = batch.sequences[:, j, :]
+        for b in range(len(batch)):
+            chosen = np.flatnonzero(segment[b])
+            if chosen.size:
+                assert len(set(categories[b, chosen].tolist())) == 1
+                assert batch.mask[b, chosen].all()

@@ -1,0 +1,259 @@
+"""Unit and property tests for the autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import Tensor, concatenate, maximum, minimum, no_grad, stack, where
+
+from .helpers import check_gradients
+
+RNG = np.random.default_rng(0)
+
+
+def small_arrays(shape):
+    return hnp.arrays(np.float64, shape,
+                      elements=st.floats(-3, 3, allow_nan=False, width=32))
+
+
+class TestBasics:
+    def test_construction_and_repr(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert "requires_grad=True" in repr(t)
+
+    def test_item_and_numpy(self):
+        t = Tensor(3.5)
+        assert t.item() == 3.5
+        assert isinstance(t.numpy(), np.ndarray)
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        with pytest.raises(RuntimeError):
+            d.sum().backward()
+
+    def test_backward_requires_scalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_accepts_explicit_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        (t * 3).backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(t.grad, [3.0, 3.0])
+
+    def test_no_grad_suppresses_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = t * 2
+        assert not out.requires_grad
+
+    def test_gradient_accumulates_across_uses(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * t + t).sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0])  # 2x + 1 at x=2
+
+
+class TestArithmeticGradients:
+    def test_add_broadcast(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4,))
+        check_gradients(lambda ts: (ts[0] + ts[1]).sum(), [a, b])
+
+    def test_mul_broadcast(self):
+        a = RNG.normal(size=(2, 3, 4))
+        b = RNG.normal(size=(3, 1))
+        check_gradients(lambda ts: (ts[0] * ts[1]).sum(), [a, b])
+
+    def test_sub_rsub(self):
+        a = RNG.normal(size=(3,))
+        check_gradients(lambda ts: (5.0 - ts[0]).sum(), [a])
+
+    def test_div(self):
+        a = RNG.normal(size=(3, 2)) + 5.0
+        b = RNG.normal(size=(2,)) + 5.0
+        check_gradients(lambda ts: (ts[0] / ts[1]).sum(), [a, b])
+
+    def test_pow(self):
+        a = np.abs(RNG.normal(size=(4,))) + 0.5
+        check_gradients(lambda ts: (ts[0] ** 3).sum(), [a])
+
+    def test_matmul_2d(self):
+        a = RNG.normal(size=(3, 4))
+        b = RNG.normal(size=(4, 2))
+        check_gradients(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_batched(self):
+        a = RNG.normal(size=(2, 3, 4))
+        b = RNG.normal(size=(2, 4, 5))
+        check_gradients(lambda ts: (ts[0] @ ts[1]).sum(), [a, b])
+
+    def test_matmul_broadcast_weight(self):
+        a = RNG.normal(size=(2, 3, 4))
+        w = RNG.normal(size=(4, 5))
+        check_gradients(lambda ts: (ts[0] @ ts[1]).sum(), [a, w])
+
+    def test_matmul_vector(self):
+        a = RNG.normal(size=(3, 4))
+        v = RNG.normal(size=(4,))
+        check_gradients(lambda ts: (ts[0] @ ts[1]).sum(), [a, v])
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize("op", ["exp", "tanh", "sigmoid", "relu", "abs"])
+    def test_unary(self, op):
+        a = RNG.normal(size=(3, 3)) + 0.1  # avoid the relu/abs kink at 0
+        check_gradients(lambda ts: getattr(ts[0], op)().sum(), [a])
+
+    def test_log(self):
+        a = np.abs(RNG.normal(size=(5,))) + 0.5
+        check_gradients(lambda ts: ts[0].log().sum(), [a])
+
+    def test_sqrt(self):
+        a = np.abs(RNG.normal(size=(5,))) + 0.5
+        check_gradients(lambda ts: ts[0].sqrt().sum(), [a])
+
+    def test_clip(self):
+        a = np.array([-2.0, -0.5, 0.3, 0.9, 2.0])
+        check_gradients(lambda ts: ts[0].clip(-1.0, 1.0).sum(), [a])
+
+    def test_where_maximum_minimum(self):
+        a = RNG.normal(size=(4,)) + 2.0
+        b = RNG.normal(size=(4,)) - 2.0
+        check_gradients(lambda ts: maximum(ts[0], ts[1]).sum(), [a, b])
+        check_gradients(lambda ts: minimum(ts[0], ts[1]).sum(), [a, b])
+        cond = np.array([True, False, True, False])
+        check_gradients(lambda ts: where(cond, ts[0], ts[1]).sum(), [a, b])
+
+
+class TestReductionGradients:
+    def test_sum_axis(self):
+        a = RNG.normal(size=(3, 4, 2))
+        check_gradients(lambda ts: (ts[0].sum(axis=1) ** 2).sum(), [a])
+
+    def test_sum_keepdims(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradients(lambda ts: (ts[0].sum(axis=0, keepdims=True) ** 2).sum(), [a])
+
+    def test_mean(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradients(lambda ts: (ts[0].mean(axis=1) ** 2).sum(), [a])
+
+    def test_mean_all(self):
+        a = RNG.normal(size=(6,))
+        check_gradients(lambda ts: ts[0].mean() * 3.0, [a])
+
+    def test_max(self):
+        a = np.array([[1.0, 5.0, 2.0], [7.0, 3.0, 4.0]])
+        check_gradients(lambda ts: ts[0].max(axis=1).sum(), [a])
+
+    def test_min(self):
+        a = np.array([[1.0, 5.0, 2.0], [7.0, 3.0, 4.0]])
+        check_gradients(lambda ts: ts[0].min(axis=1).sum(), [a])
+
+    def test_max_splits_ties(self):
+        a = Tensor([[2.0, 2.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5]])
+
+
+class TestShapeGradients:
+    def test_reshape(self):
+        a = RNG.normal(size=(2, 6))
+        check_gradients(lambda ts: (ts[0].reshape(3, 4) ** 2).sum(), [a])
+
+    def test_transpose(self):
+        a = RNG.normal(size=(2, 3, 4))
+        check_gradients(
+            lambda ts: (ts[0].transpose((2, 0, 1)) * RNG_FIXED).sum(), [a])
+
+    def test_swapaxes(self):
+        a = RNG.normal(size=(2, 3))
+        check_gradients(lambda ts: (ts[0].swapaxes(0, 1) ** 2).sum(), [a])
+
+    def test_expand_squeeze(self):
+        a = RNG.normal(size=(3, 4))
+        check_gradients(lambda ts: (ts[0].expand_dims(1) ** 2).sum(), [a])
+        b = RNG.normal(size=(3, 1, 4))
+        check_gradients(lambda ts: (ts[0].squeeze(1) ** 2).sum(), [b])
+
+    def test_broadcast_to(self):
+        a = RNG.normal(size=(1, 4))
+        check_gradients(lambda ts: (ts[0].broadcast_to((3, 4)) ** 2).sum(), [a])
+
+    def test_getitem_slice(self):
+        a = RNG.normal(size=(4, 5))
+        check_gradients(lambda ts: (ts[0][1:3, ::2] ** 2).sum(), [a])
+
+    def test_getitem_integer_array(self):
+        a = RNG.normal(size=(5, 3))
+        idx = np.array([0, 2, 2, 4])
+        check_gradients(lambda ts: (ts[0][idx] ** 2).sum(), [a])
+
+    def test_take_repeated_indices_accumulate(self):
+        table = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = table.take(np.array([[1, 1], [0, 1]]), axis=0)
+        assert out.shape == (2, 2, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(table.grad, [[1.0, 1.0], [3.0, 3.0], [0.0, 0.0]])
+
+    def test_concatenate(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(2, 2))
+        check_gradients(lambda ts: (concatenate([ts[0], ts[1]], axis=1) ** 2).sum(),
+                        [a, b])
+
+    def test_stack(self):
+        a = RNG.normal(size=(2, 3))
+        b = RNG.normal(size=(2, 3))
+        check_gradients(lambda ts: (stack([ts[0], ts[1]], axis=1) ** 2).sum(), [a, b])
+
+    def test_flatten_from(self):
+        a = RNG.normal(size=(2, 3, 4))
+        out = Tensor(a).flatten_from(1)
+        assert out.shape == (2, 12)
+
+
+RNG_FIXED = np.random.default_rng(7).normal(size=(4, 2, 3))
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(small_arrays((3, 4)))
+    def test_sum_matches_numpy(self, a):
+        np.testing.assert_allclose(Tensor(a).sum().data, a.sum(), rtol=1e-10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_arrays((2, 3)), small_arrays((2, 3)))
+    def test_add_commutative(self, a, b):
+        left = (Tensor(a) + Tensor(b)).data
+        right = (Tensor(b) + Tensor(a)).data
+        np.testing.assert_allclose(left, right)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_arrays((3, 3)))
+    def test_chain_rule_linear(self, a):
+        """d/dx of sum(c * x) must be exactly c, for any x."""
+        coeffs = np.arange(9, dtype=np.float64).reshape(3, 3)
+        t = Tensor(a, requires_grad=True)
+        (t * Tensor(coeffs)).sum().backward()
+        np.testing.assert_allclose(t.grad, coeffs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_arrays((4,)))
+    def test_sigmoid_bounded(self, a):
+        out = Tensor(a).sigmoid().data
+        assert np.all(out > 0) and np.all(out < 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_arrays((2, 5)))
+    def test_relu_idempotent(self, a):
+        once = Tensor(a).relu().data
+        twice = Tensor(once).relu().data
+        np.testing.assert_allclose(once, twice)

@@ -1,0 +1,153 @@
+"""Additional autograd coverage: composite graphs, edge cases, regressions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    stack,
+)
+
+from .helpers import check_gradients
+
+RNG = np.random.default_rng(21)
+
+
+class TestCompositeGraphs:
+    def test_diamond_graph_accumulates_once_per_path(self):
+        """x feeds two branches that rejoin: d/dx (x*x + 3x) = 2x + 3."""
+        x = Tensor([2.0], requires_grad=True)
+        left = x * x
+        right = x * 3.0
+        (left + right).sum().backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_deep_chain(self):
+        x = Tensor([1.5], requires_grad=True)
+        y = x
+        for _ in range(30):
+            y = y * 0.9 + 0.1
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.9 ** 30], rtol=1e-10)
+
+    def test_shared_subexpression(self):
+        a = RNG.normal(size=(3, 3))
+
+        def build(ts):
+            shared = ts[0].tanh()
+            return (shared * shared + shared.exp()).sum()
+
+        check_gradients(build, [a])
+
+    def test_mixed_shapes_pipeline(self):
+        a = RNG.normal(size=(2, 3, 4))
+        b = RNG.normal(size=(4, 5))
+
+        def build(ts):
+            out = (ts[0] @ ts[1]).relu()
+            pooled = out.mean(axis=1)
+            return (pooled * pooled).sum()
+
+        check_gradients(build, [a, b])
+
+    def test_second_backward_accumulates(self):
+        """Calling backward twice without zeroing doubles the gradient."""
+        x = Tensor([3.0], requires_grad=True)
+        (x * 2).sum().backward()
+        first = x.grad.copy()
+        y = x * 2
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first)
+
+
+class TestGradModeInteraction:
+    def test_is_grad_enabled_reflects_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+
+    def test_graph_built_inside_no_grad_is_dead(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = (x * 2).sum()
+        assert not y.requires_grad
+        assert y._parents == ()
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor([1.0])
+        assert as_tensor(t) is t
+        assert isinstance(as_tensor([1.0, 2.0]), Tensor)
+
+
+class TestEdgeCases:
+    def test_empty_like_operations(self):
+        t = Tensor(np.zeros((0, 3)))
+        assert (t * 2).shape == (0, 3)
+        assert t.sum().item() == 0.0
+
+    def test_scalar_tensor_arithmetic(self):
+        x = Tensor(2.0, requires_grad=True)
+        (x ** 2).backward()
+        np.testing.assert_allclose(x.grad, 4.0)
+
+    def test_concatenate_three_parts(self):
+        parts = [RNG.normal(size=(2, k)) for k in (1, 2, 3)]
+        check_gradients(
+            lambda ts: (concatenate(ts, axis=1) ** 2).sum(), parts)
+
+    def test_stack_axis_positions(self):
+        a, b = RNG.normal(size=(2, 3)), RNG.normal(size=(2, 3))
+        assert stack([Tensor(a), Tensor(b)], axis=0).shape == (2, 2, 3)
+        assert stack([Tensor(a), Tensor(b)], axis=2).shape == (2, 3, 2)
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** np.array([2.0, 3.0])
+
+    def test_getitem_then_setflags_safe(self):
+        """Views from getitem must not corrupt the parent's gradient."""
+        x = Tensor(RNG.normal(size=(4, 4)), requires_grad=True)
+        (x[0] * 2).sum().backward()
+        assert x.grad[0].sum() == pytest.approx(8.0)
+        assert x.grad[1:].sum() == 0.0
+
+
+class TestNumericalProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(hnp.arrays(np.float64, (3, 4),
+                      elements=st.floats(-2, 2, allow_nan=False, width=32)))
+    def test_tanh_gradient_bounded(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.tanh().sum().backward()
+        assert np.all(t.grad <= 1.0 + 1e-12)
+        assert np.all(t.grad >= 0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(hnp.arrays(np.float64, (5,),
+                      elements=st.floats(-3, 3, allow_nan=False, width=32)))
+    def test_sum_grad_is_ones(self, a):
+        t = Tensor(a, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones(5))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_matmul_shape_algebra(self, m, n):
+        a = Tensor(np.ones((m, 3)))
+        b = Tensor(np.ones((3, n)))
+        assert (a @ b).shape == (m, n)
+        np.testing.assert_allclose((a @ b).data, 3.0)
