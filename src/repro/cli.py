@@ -10,6 +10,12 @@ Commands
     calibrated test AUC/Logloss.
 ``compare``
     Train a list of models on one dataset and print a ranked comparison.
+``inspect-run``
+    Summarise a JSONL run trace written via ``--log-jsonl``.
+
+``train`` and ``compare`` accept ``--log-jsonl PATH`` (write a
+schema-versioned JSONL run trace) and ``--verbose`` (throttled console
+progress) — see the Observability section of README.md.
 """
 
 from __future__ import annotations
@@ -22,7 +28,14 @@ from .core import MISSConfig, attach_miss
 from .data import DATASET_NAMES, compute_stats, load_dataset, make_config
 from .data.analysis import diagnose_world
 from .data.synthetic import InterestWorld
-from .models import MODEL_NAMES, create_model
+from .models import MODEL_NAMES, create_model, supports_miss
+from .obs import (
+    ConsoleReporter,
+    JsonlTraceWriter,
+    ObserverList,
+    render_summary,
+    summarize_trace,
+)
 from .training import TrainConfig, run_experiment
 
 __all__ = ["main", "build_parser"]
@@ -47,16 +60,21 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--epochs", type=int, default=12)
         p.add_argument("--learning-rate", type=float, default=1e-2)
+        p.add_argument("--alpha", type=float, default=0.5,
+                       help="SSL loss weight α1 = α2 for the MISS variant")
+        p.add_argument("--temperature", type=float, default=0.1,
+                       help="InfoNCE temperature τ for the MISS variant")
+        p.add_argument("--log-jsonl", metavar="PATH", default=None,
+                       help="write a JSONL run trace to PATH "
+                            "(inspect with `repro inspect-run PATH`)")
+        p.add_argument("--verbose", action="store_true",
+                       help="print throttled per-step/per-epoch progress")
 
     train = sub.add_parser("train", help="train one model")
     add_common(train)
     train.add_argument("--model", choices=MODEL_NAMES, default="DIN")
     train.add_argument("--miss", action="store_true",
                        help="attach the MISS SSL component")
-    train.add_argument("--alpha", type=float, default=0.5,
-                       help="SSL loss weight α1 = α2 (with --miss)")
-    train.add_argument("--temperature", type=float, default=0.1,
-                       help="InfoNCE temperature τ (with --miss)")
 
     compare = sub.add_parser("compare", help="train several models")
     add_common(compare)
@@ -64,6 +82,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=list(MODEL_NAMES),
                          help="baselines to run; MISS is attached to the "
                               "first embedding-based one")
+
+    inspect = sub.add_parser("inspect-run",
+                             help="summarise a JSONL run trace")
+    inspect.add_argument("trace", help="path written via --log-jsonl")
     return parser
 
 
@@ -82,39 +104,72 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_observers(args: argparse.Namespace) -> ObserverList:
+    """Sinks requested on the command line (empty list disables telemetry)."""
+    observers = ObserverList()
+    if args.log_jsonl:
+        try:
+            observers.append(JsonlTraceWriter(args.log_jsonl))
+        except OSError as exc:
+            raise SystemExit(f"--log-jsonl: cannot open {args.log_jsonl}: "
+                             f"{exc.strerror or exc}")
+    if args.verbose:
+        observers.append(ConsoleReporter())
+    return observers
+
+
+def _close_observers(observers: ObserverList) -> None:
+    for obs in observers.observers:
+        if isinstance(obs, JsonlTraceWriter):
+            obs.close()
+
+
 def _train_one(model_name: str, args: argparse.Namespace, data,
-               miss: bool = False):
+               miss: bool = False, observers: ObserverList | None = None):
     model = create_model(model_name, data.schema, seed=args.seed + 1)
     label = model_name
     if miss:
         model = attach_miss(model, MISSConfig(
-            alpha_interest=args.alpha if hasattr(args, "alpha") else 0.5,
-            alpha_feature=args.alpha if hasattr(args, "alpha") else 0.5,
-            temperature=getattr(args, "temperature", 0.1),
+            alpha_interest=args.alpha,
+            alpha_feature=args.alpha,
+            temperature=args.temperature,
             seed=args.seed + 2))
         label = f"{model_name}-MISS"
     config = TrainConfig(epochs=args.epochs, learning_rate=args.learning_rate,
                          weight_decay=1e-5, patience=4, seed=args.seed)
-    return run_experiment(model, data, config, model_name=label)
+    return run_experiment(model, data, config, model_name=label,
+                          observers=observers)
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    result = _train_one(args.model, args, data, miss=args.miss)
+    observers = _build_observers(args)
+    try:
+        result = _train_one(args.model, args, data, miss=args.miss,
+                            observers=observers)
+    finally:
+        _close_observers(observers)
     print(f"{result.model_name} on {args.dataset}: test {result.test}")
+    if args.log_jsonl:
+        print(f"run trace written to {args.log_jsonl}")
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    results = [_train_one(name, args, data) for name in args.models]
-    # Add the MISS-enhanced variant of the first embedding-based model.
-    for name in args.models:
-        try:
-            results.append(_train_one(name, args, data, miss=True))
-            break
-        except TypeError:
-            continue
+    observers = _build_observers(args)
+    try:
+        results = [_train_one(name, args, data, observers=observers)
+                   for name in args.models]
+        # Add the MISS-enhanced variant of the first model that can host the
+        # plug-in (explicit capability check: MISS needs a shared embedder).
+        for name in args.models:
+            if supports_miss(name):
+                results.append(_train_one(name, args, data, miss=True,
+                                          observers=observers))
+                break
+    finally:
+        _close_observers(observers)
     results.sort(key=lambda r: r.auc, reverse=True)
     print(f"{'Model':<16}{'AUC':>9}{'Logloss':>10}")
     for result in results:
@@ -123,10 +178,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect_run(args: argparse.Namespace) -> int:
+    try:
+        summary = summarize_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"inspect-run: {exc}", file=sys.stderr)
+        return 1
+    print(render_summary(summary))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
-                "compare": _cmd_compare}
+                "compare": _cmd_compare, "inspect-run": _cmd_inspect_run}
     return handlers[args.command](args)
 
 

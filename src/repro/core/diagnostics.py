@@ -9,22 +9,29 @@ import numpy as np
 from ..data.batching import Batch
 from ..models.base import CTRModel
 from ..nn import no_grad
+from ..obs.events import BaseObserver, BatchEndEvent
 from .plugin import MISSEnhancedModel
 
 __all__ = ["SimilarityTracker"]
 
 
 @dataclass
-class SimilarityTracker:
+class SimilarityTracker(BaseObserver):
     """Records the mean cosine similarity of augmented view pairs per step.
 
-    Use as the trainer's ``on_batch_end`` callback; afterwards ``steps`` and
-    ``similarities`` hold the Figure 5 series for one extractor.
+    A :class:`~repro.obs.RunObserver`: pass it via the trainer's
+    ``observers=[tracker]``.  It also remains directly callable with
+    ``(model, batch, step)``, so the legacy ``on_batch_end`` hook keeps
+    working.  Afterwards ``steps`` and ``similarities`` hold the Figure 5
+    series for one extractor.
     """
 
     every: int = 1
     steps: list[int] = field(default_factory=list)
     similarities: list[float] = field(default_factory=list)
+
+    def on_batch_end(self, event: BatchEndEvent) -> None:
+        self(event.model, event.batch, event.step)
 
     def __call__(self, model: CTRModel, batch: Batch, step: int) -> None:
         if step % self.every:

@@ -21,6 +21,7 @@ import numpy as np
 from ..data.schema import DatasetSchema
 from ..nn import Module, Tensor
 from ..nn import functional as F
+from ..obs.timers import phase
 from .augmentation import (
     FeatureViewSample,
     InterestViewSample,
@@ -163,39 +164,45 @@ class MISSModule(Module):
             interest_loss = info_nce(z1, z2, cfg.temperature)
             return interest_loss, Tensor(0.0)
 
-        maps = self.interest_maps(c)
+        with phase("model.ssl.mie"):
+            maps = self.interest_maps(c)
         seq_len = c.shape[2]
-        samples = sample_interest_pairs(maps, cfg.num_interest_pairs,
-                                        cfg.effective_distance, self._rng,
-                                        mask=mask, seq_len=seq_len,
-                                        distribution=cfg.distance_distribution)
-        interest_loss = None
-        for sample in samples:
-            z1, z2 = self.interest_encoder.encode_pair(*sample.pair)
-            term = info_nce(z1, z2, cfg.temperature,
-                            self._interest_false_negatives(sample, sequences))
-            interest_loss = term if interest_loss is None else interest_loss + term
-        interest_loss = interest_loss * (1.0 / len(samples))
+        with phase("model.ssl.augment"):
+            samples = sample_interest_pairs(maps, cfg.num_interest_pairs,
+                                            cfg.effective_distance, self._rng,
+                                            mask=mask, seq_len=seq_len,
+                                            distribution=cfg.distance_distribution)
+        with phase("model.ssl.infonce"):
+            interest_loss = None
+            for sample in samples:
+                z1, z2 = self.interest_encoder.encode_pair(*sample.pair)
+                term = info_nce(z1, z2, cfg.temperature,
+                                self._interest_false_negatives(sample, sequences))
+                interest_loss = term if interest_loss is None else interest_loss + term
+            interest_loss = interest_loss * (1.0 / len(samples))
 
         if self.fine_extractor is None:
             return interest_loss, Tensor(0.0)
 
-        fine_maps = self.fine_extractor(maps)
-        fine_samples = sample_feature_pairs(
-            fine_maps, cfg.num_feature_pairs, self._rng, mask=mask,
-            seq_len=seq_len, num_fields=c.shape[1])
-        feature_loss = None
-        for sample in fine_samples:
-            if isinstance(self.feature_encoder, FieldAwareViewEncoder):
-                z1, z2 = self.feature_encoder.encode_pair(
-                    sample.view1, sample.view2, sample.row1, sample.row2)
-            else:
-                z1, z2 = self.feature_encoder.encode_pair(sample.view1,
-                                                          sample.view2)
-            term = info_nce(z1, z2, cfg.temperature,
-                            self._feature_false_negatives(sample, sequences))
-            feature_loss = term if feature_loss is None else feature_loss + term
-        feature_loss = feature_loss * (1.0 / len(fine_samples))
+        with phase("model.ssl.mimfe"):
+            fine_maps = self.fine_extractor(maps)
+        with phase("model.ssl.augment"):
+            fine_samples = sample_feature_pairs(
+                fine_maps, cfg.num_feature_pairs, self._rng, mask=mask,
+                seq_len=seq_len, num_fields=c.shape[1])
+        with phase("model.ssl.infonce"):
+            feature_loss = None
+            for sample in fine_samples:
+                if isinstance(self.feature_encoder, FieldAwareViewEncoder):
+                    z1, z2 = self.feature_encoder.encode_pair(
+                        sample.view1, sample.view2, sample.row1, sample.row2)
+                else:
+                    z1, z2 = self.feature_encoder.encode_pair(sample.view1,
+                                                              sample.view2)
+                term = info_nce(z1, z2, cfg.temperature,
+                                self._feature_false_negatives(sample, sequences))
+                feature_loss = term if feature_loss is None else feature_loss + term
+            feature_loss = feature_loss * (1.0 / len(fine_samples))
         return interest_loss, feature_loss
 
     def forward(self, c: Tensor, mask: np.ndarray | None = None,

@@ -38,6 +38,9 @@ class MISSEnhancedModel(DeepCTRModel):
         self.config = config
         self.ssl = MISSModule(base.schema, base.embedding_dim, config,
                               rng or np.random.default_rng(config.seed))
+        #: Per-component values of the last ``training_loss`` call (floats,
+        #: detached) — the telemetry layer reads these after each step.
+        self.last_loss_components: dict[str, float] | None = None
 
     def predict_logits(self, batch: Batch) -> Tensor:
         return self.base.predict_logits(batch)
@@ -52,8 +55,23 @@ class MISSEnhancedModel(DeepCTRModel):
         return self.base.training_loss(batch)
 
     def training_loss(self, batch: Batch) -> Tensor:
-        """Eq. 17: joint CTR + SSL objective."""
-        return self.ctr_loss(batch) + self.ssl_loss(batch)
+        """Eq. 17: joint CTR + SSL objective.
+
+        Also refreshes :attr:`last_loss_components` with the unweighted value
+        of each term (base logloss, interest SSL, feature SSL) so observers
+        can chart how the multi-task balance evolves.
+        """
+        ctr = self.ctr_loss(batch)
+        c = self.embedder.sequence_embeddings(batch)
+        interest, feature = self.ssl.ssl_losses(c, batch.mask, batch.sequences)
+        total = (ctr + self.config.alpha_interest * interest
+                 + self.config.alpha_feature * feature)
+        self.last_loss_components = {
+            "logloss": float(ctr.item()),
+            "ssl_interest": float(interest.item()),
+            "ssl_feature": float(feature.item()),
+        }
+        return total
 
     def named_parameters(self, prefix: str = ""):
         # The shared embedder lives inside ``base``; expose each parameter

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.timers import phase
 from .schema import DatasetSchema
 
 __all__ = ["CTRDataset", "Batch", "DataLoader"]
@@ -108,4 +109,6 @@ class DataLoader:
             chunk = order[start:start + self.batch_size]
             if self.drop_last and chunk.size < self.batch_size:
                 return
-            yield self.dataset.batch(chunk)
+            with phase("data.batch"):
+                batch = self.dataset.batch(chunk)
+            yield batch

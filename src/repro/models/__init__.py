@@ -11,7 +11,7 @@ from .fm import DeepFMModel, FMModel, fm_second_order
 from .inputs import FeatureEmbedder
 from .lr import LRModel
 from .pnn import IPNNModel
-from .registry import MODEL_NAMES, create_model
+from .registry import MODEL_NAMES, create_model, model_class, supports_miss
 from .sim import SIMSoftModel
 from .xdeepfm import CIN, XDeepFMModel
 
@@ -22,5 +22,5 @@ __all__ = [
     "XDeepFMModel", "CIN",
     "DINModel", "DIENModel", "SIMSoftModel", "DMRModel",
     "AutoIntModel", "FiGNNModel", "build_field_graph",
-    "MODEL_NAMES", "create_model",
+    "MODEL_NAMES", "create_model", "model_class", "supports_miss",
 ]

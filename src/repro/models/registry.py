@@ -8,7 +8,7 @@ import numpy as np
 
 from ..data.schema import DatasetSchema
 from .autoint import AutoIntModel
-from .base import CTRModel
+from .base import CTRModel, DeepCTRModel
 from .dcn import DCNMModel, DCNModel
 from .dien import DIENModel
 from .din import DINModel
@@ -20,7 +20,7 @@ from .pnn import IPNNModel
 from .sim import SIMSoftModel
 from .xdeepfm import XDeepFMModel
 
-__all__ = ["MODEL_NAMES", "create_model"]
+__all__ = ["MODEL_NAMES", "create_model", "model_class", "supports_miss"]
 
 _FACTORIES: dict[str, Callable[..., CTRModel]] = {
     "LR": lambda schema, dim, rng, **kw: LRModel(schema, rng),
@@ -38,7 +38,39 @@ _FACTORIES: dict[str, Callable[..., CTRModel]] = {
     "FiGNN": lambda schema, dim, rng, **kw: FiGNNModel(schema, dim, rng, **kw),
 }
 
+_CLASSES: dict[str, type[CTRModel]] = {
+    "LR": LRModel,
+    "FM": FMModel,
+    "DeepFM": DeepFMModel,
+    "IPNN": IPNNModel,
+    "DCN": DCNModel,
+    "DCN-M": DCNMModel,
+    "xDeepFM": XDeepFMModel,
+    "DIN": DINModel,
+    "DIEN": DIENModel,
+    "SIM(soft)": SIMSoftModel,
+    "DMR": DMRModel,
+    "AutoInt+": AutoIntModel,
+    "FiGNN": FiGNNModel,
+}
+
 MODEL_NAMES = tuple(_FACTORIES)
+
+
+def model_class(name: str) -> type[CTRModel]:
+    """The class a registry name instantiates (without building a model)."""
+    if name not in _CLASSES:
+        raise KeyError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+    return _CLASSES[name]
+
+
+def supports_miss(name: str) -> bool:
+    """Whether the MISS plug-in can attach to this baseline.
+
+    The plug-in needs the shared :class:`FeatureEmbedder` that only
+    :class:`DeepCTRModel` subclasses own (see ``MISSEnhancedModel``).
+    """
+    return issubclass(model_class(name), DeepCTRModel)
 
 
 def create_model(name: str, schema: DatasetSchema, embedding_dim: int = 10,

@@ -1,0 +1,35 @@
+"""Observability: event bus, metric registry, phase timers, and trace sinks.
+
+The training stack emits structured lifecycle events (``run_start`` →
+``epoch_start`` → ``batch_end``* → ``eval_end`` → ... → ``run_end``) to any
+:class:`RunObserver`; hot paths are wrapped in :func:`phase` scopes that cost
+nothing unless a collector is active.  See DESIGN.md §"Observability".
+"""
+
+from .events import (
+    SCHEMA_VERSION,
+    BaseObserver,
+    BatchEndEvent,
+    CallbackObserver,
+    EpochStartEvent,
+    EvalEndEvent,
+    ObserverList,
+    RunEndEvent,
+    RunObserver,
+    RunStartEvent,
+)
+from .inspect import TraceSummary, read_trace, render_summary, summarize_trace
+from .metrics import Counter, EMAMeter, Gauge, MetricRegistry, StreamingHistogram
+from .sinks import ConsoleReporter, JsonlTraceWriter
+from .timers import PhaseStat, PhaseTimings, active_timings, collect, phase, timed
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunObserver", "BaseObserver", "ObserverList", "CallbackObserver",
+    "RunStartEvent", "EpochStartEvent", "BatchEndEvent", "EvalEndEvent",
+    "RunEndEvent",
+    "Counter", "Gauge", "EMAMeter", "StreamingHistogram", "MetricRegistry",
+    "PhaseStat", "PhaseTimings", "collect", "phase", "timed", "active_timings",
+    "JsonlTraceWriter", "ConsoleReporter",
+    "TraceSummary", "read_trace", "summarize_trace", "render_summary",
+]

@@ -1,0 +1,238 @@
+"""Event bus for training telemetry: observer protocol and event payloads.
+
+A training run is narrated as five lifecycle events — run start, epoch start,
+batch end, eval end, run end — each carrying a structured payload.  Anything
+that wants to watch a run (JSONL trace writers, console reporters, the
+Figure-5 :class:`~repro.core.diagnostics.SimilarityTracker`) implements
+:class:`RunObserver` and is handed to ``Trainer.fit(observers=[...])``.
+
+Events keep live object references (``model``, ``batch``) for in-process
+observers, but :meth:`payload` returns only the JSON-safe subset — that is
+what sinks serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Iterable, Protocol, runtime_checkable
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunStartEvent", "EpochStartEvent", "BatchEndEvent", "EvalEndEvent",
+    "RunEndEvent",
+    "RunObserver", "BaseObserver", "ObserverList", "CallbackObserver",
+]
+
+#: Version stamped on every serialised event; bump on payload shape changes.
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars (and nested containers) to plain Python types."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (TypeError, ValueError):
+            pass
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class RunStartEvent:
+    """Emitted once before the first epoch."""
+
+    kind: ClassVar[str] = "run_start"
+
+    model: str
+    num_train: int
+    num_validation: int
+    config: dict[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> dict[str, Any]:
+        return _jsonable({"model": self.model, "num_train": self.num_train,
+                          "num_validation": self.num_validation,
+                          "config": dict(self.config)})
+
+
+@dataclass
+class EpochStartEvent:
+    """Emitted at the top of every epoch."""
+
+    kind: ClassVar[str] = "epoch_start"
+
+    epoch: int
+
+    def payload(self) -> dict[str, Any]:
+        return {"epoch": int(self.epoch)}
+
+
+@dataclass
+class BatchEndEvent:
+    """Emitted after every optimiser step.
+
+    ``model`` and ``batch`` are live references for in-process observers
+    (e.g. the similarity tracker); they are never serialised.
+    """
+
+    kind: ClassVar[str] = "batch_end"
+
+    epoch: int
+    step: int
+    loss: float
+    grad_norm: float
+    loss_components: dict[str, float] | None = None
+    model: Any = None
+    batch: Any = None
+
+    def payload(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"epoch": int(self.epoch), "step": int(self.step),
+                               "loss": float(self.loss),
+                               "grad_norm": float(self.grad_norm)}
+        if self.loss_components is not None:
+            out["loss_components"] = {k: float(v)
+                                      for k, v in self.loss_components.items()}
+        return out
+
+
+@dataclass
+class EvalEndEvent:
+    """Emitted after an evaluation pass (validation each epoch, test at end)."""
+
+    kind: ClassVar[str] = "eval_end"
+
+    epoch: int
+    split: str
+    auc: float
+    logloss: float
+    train_loss: float | None = None
+    loss_components: dict[str, float] | None = None
+
+    def payload(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"epoch": int(self.epoch), "split": self.split,
+                               "auc": float(self.auc),
+                               "logloss": float(self.logloss)}
+        if self.train_loss is not None:
+            out["train_loss"] = float(self.train_loss)
+        if self.loss_components is not None:
+            out["loss_components"] = {k: float(v)
+                                      for k, v in self.loss_components.items()}
+        return out
+
+
+@dataclass
+class RunEndEvent:
+    """Emitted once after training finishes (post best-state restore)."""
+
+    kind: ClassVar[str] = "run_end"
+
+    best_epoch: int
+    epochs_run: int
+    steps: int
+    wall_time_s: float
+    timings: dict[str, Any] = field(default_factory=dict)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    def payload(self) -> dict[str, Any]:
+        return _jsonable({"best_epoch": int(self.best_epoch),
+                          "epochs_run": int(self.epochs_run),
+                          "steps": int(self.steps),
+                          "wall_time_s": float(self.wall_time_s),
+                          "timings": self.timings, "metrics": self.metrics})
+
+
+@runtime_checkable
+class RunObserver(Protocol):
+    """The observer protocol; implement any subset of the five hooks."""
+
+    def on_run_start(self, event: RunStartEvent) -> None: ...
+    def on_epoch_start(self, event: EpochStartEvent) -> None: ...
+    def on_batch_end(self, event: BatchEndEvent) -> None: ...
+    def on_eval_end(self, event: EvalEndEvent) -> None: ...
+    def on_run_end(self, event: RunEndEvent) -> None: ...
+
+
+class BaseObserver:
+    """No-op implementation of :class:`RunObserver`; subclass and override."""
+
+    def on_run_start(self, event: RunStartEvent) -> None:
+        pass
+
+    def on_epoch_start(self, event: EpochStartEvent) -> None:
+        pass
+
+    def on_batch_end(self, event: BatchEndEvent) -> None:
+        pass
+
+    def on_eval_end(self, event: EvalEndEvent) -> None:
+        pass
+
+    def on_run_end(self, event: RunEndEvent) -> None:
+        pass
+
+
+class CallbackObserver(BaseObserver):
+    """Back-compat shim: adapts an ``on_batch_end(model, batch, step)``
+    callable — the trainer's historical hook — to the observer protocol."""
+
+    def __init__(self, callback: Callable[[Any, Any, int], None]):
+        self.callback = callback
+
+    def on_batch_end(self, event: BatchEndEvent) -> None:
+        self.callback(event.model, event.batch, event.step)
+
+
+class ObserverList(BaseObserver):
+    """Composite observer that fans events out to its children in order."""
+
+    def __init__(self, observers: Iterable[RunObserver] = ()):
+        self.observers: list[RunObserver] = list(observers)
+
+    @classmethod
+    def build(cls, observers: "RunObserver | Iterable[RunObserver] | None",
+              on_batch_end: Callable[[Any, Any, int], None] | None = None
+              ) -> "ObserverList":
+        """Normalise the trainer's ``observers``/``on_batch_end`` arguments."""
+        if observers is None:
+            children: list[RunObserver] = []
+        elif isinstance(observers, ObserverList):
+            children = list(observers.observers)
+        elif isinstance(observers, (list, tuple)):
+            children = list(observers)
+        else:
+            children = [observers]
+        if on_batch_end is not None:
+            children.append(CallbackObserver(on_batch_end))
+        return cls(children)
+
+    def append(self, observer: RunObserver) -> None:
+        self.observers.append(observer)
+
+    def __len__(self) -> int:
+        return len(self.observers)
+
+    def __bool__(self) -> bool:
+        return bool(self.observers)
+
+    def on_run_start(self, event: RunStartEvent) -> None:
+        for obs in self.observers:
+            obs.on_run_start(event)
+
+    def on_epoch_start(self, event: EpochStartEvent) -> None:
+        for obs in self.observers:
+            obs.on_epoch_start(event)
+
+    def on_batch_end(self, event: BatchEndEvent) -> None:
+        for obs in self.observers:
+            obs.on_batch_end(event)
+
+    def on_eval_end(self, event: EvalEndEvent) -> None:
+        for obs in self.observers:
+            obs.on_eval_end(event)
+
+    def on_run_end(self, event: RunEndEvent) -> None:
+        for obs in self.observers:
+            obs.on_run_end(event)

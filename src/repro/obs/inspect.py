@@ -1,0 +1,160 @@
+"""Run-trace inspection: parse a JSONL trace and render a summary.
+
+Backs the ``repro inspect-run PATH`` CLI command.  The summary reports where
+wall-time went (per-phase self-time shares), how the Eq. 17 loss components
+evolved per epoch, and the final metrics of every evaluation split seen.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .events import SCHEMA_VERSION
+
+__all__ = ["TraceSummary", "read_trace", "summarize_trace", "render_summary"]
+
+
+@dataclass
+class TraceSummary:
+    """Digest of one JSONL run trace."""
+
+    path: str
+    schema_version: int
+    model: str
+    num_train: int
+    num_validation: int
+    config: dict[str, Any] = field(default_factory=dict)
+    epochs: list[dict[str, Any]] = field(default_factory=list)
+    final_evals: dict[str, dict[str, Any]] = field(default_factory=dict)
+    timings: dict[str, dict[str, Any]] = field(default_factory=dict)
+    metrics: dict[str, dict[str, Any]] = field(default_factory=dict)
+    best_epoch: int | None = None
+    steps: int | None = None
+    wall_time_s: float | None = None
+    num_events: int = 0
+    #: Number of ``run_start`` events seen; the summary reflects the last run
+    #: (``compare --log-jsonl`` concatenates one run per model).
+    num_runs: int = 0
+
+
+def read_trace(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace into event dicts, validating each line."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON ({exc})")
+            if not isinstance(record, dict) or "event" not in record:
+                raise ValueError(f"{path}:{lineno}: not a trace event")
+            version = record.get("schema_version")
+            if version != SCHEMA_VERSION:
+                raise ValueError(f"{path}:{lineno}: schema_version {version!r} "
+                                 f"unsupported (expected {SCHEMA_VERSION})")
+            events.append(record)
+    if not events:
+        raise ValueError(f"{path}: empty trace")
+    return events
+
+
+def summarize_trace(path: str) -> TraceSummary:
+    """Fold a trace's events into a :class:`TraceSummary`."""
+    events = read_trace(path)
+    summary = TraceSummary(path=path, schema_version=SCHEMA_VERSION,
+                           model="?", num_train=0, num_validation=0,
+                           num_events=len(events))
+    for record in events:
+        kind = record["event"]
+        if kind == "run_start":
+            # A new run: reset per-run state so concatenated traces
+            # (e.g. from `compare`) summarise their final run.
+            summary.num_runs += 1
+            summary.model = record.get("model", "?")
+            summary.num_train = record.get("num_train", 0)
+            summary.num_validation = record.get("num_validation", 0)
+            summary.config = record.get("config", {})
+            summary.epochs = []
+            summary.final_evals = {}
+            summary.timings = {}
+            summary.metrics = {}
+            summary.best_epoch = None
+            summary.steps = None
+            summary.wall_time_s = None
+        elif kind == "eval_end":
+            row = {k: record.get(k) for k in ("epoch", "split", "auc",
+                                              "logloss", "train_loss",
+                                              "loss_components")}
+            summary.final_evals[record.get("split", "?")] = row
+            if record.get("split") == "validation":
+                summary.epochs.append(row)
+        elif kind == "run_end":
+            summary.best_epoch = record.get("best_epoch")
+            summary.steps = record.get("steps")
+            summary.wall_time_s = record.get("wall_time_s")
+            summary.timings = record.get("timings", {})
+            summary.metrics = record.get("metrics", {})
+    return summary
+
+
+def _format_components(components: dict[str, Any] | None) -> str:
+    if not components:
+        return ""
+    return "  ".join(f"{name}={value:.4f}"
+                     for name, value in sorted(components.items()))
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """Plain-text report of a :class:`TraceSummary`."""
+    lines = [f"Run trace: {summary.path} "
+             f"({summary.num_events} events, schema v{summary.schema_version})"]
+    if summary.num_runs > 1:
+        lines.append(f"Contains {summary.num_runs} runs; summarising the last.")
+    lines.append(f"Model: {summary.model}  train={summary.num_train} "
+                 f"validation={summary.num_validation}")
+    if summary.best_epoch is not None:
+        wall = (f"{summary.wall_time_s:.2f}s"
+                if summary.wall_time_s is not None else "?")
+        lines.append(f"Best epoch: {summary.best_epoch}  "
+                     f"steps: {summary.steps}  wall time: {wall}")
+
+    if summary.timings:
+        lines.append("")
+        lines.append("Phase time share (self time):")
+        lines.append(f"  {'phase':<26}{'share':>8}{'self_s':>10}{'count':>8}")
+        ordered = sorted(summary.timings.items(),
+                         key=lambda kv: kv[1].get("share", 0.0), reverse=True)
+        for name, stat in ordered:
+            lines.append(f"  {name:<26}{100.0 * stat.get('share', 0.0):>7.1f}%"
+                         f"{stat.get('self_s', 0.0):>10.3f}"
+                         f"{stat.get('count', 0):>8}")
+
+    if summary.epochs:
+        lines.append("")
+        lines.append("Validation per epoch:")
+        lines.append(f"  {'epoch':>5}{'AUC':>9}{'Logloss':>10}"
+                     f"{'train_loss':>12}  components")
+        for row in summary.epochs:
+            train_loss = row.get("train_loss")
+            lines.append(
+                f"  {row.get('epoch', '?'):>5}{row.get('auc', float('nan')):>9.4f}"
+                f"{row.get('logloss', float('nan')):>10.4f}"
+                + (f"{train_loss:>12.4f}" if train_loss is not None
+                   else f"{'-':>12}")
+                + f"  {_format_components(row.get('loss_components'))}")
+
+    lines.append("")
+    lines.append("Final metrics:")
+    for split, row in summary.final_evals.items():
+        lines.append(f"  {split:<12} AUC={row['auc']:.4f} "
+                     f"Logloss={row['logloss']:.4f}")
+    grad = summary.metrics.get("train.grad_norm")
+    if grad:
+        lines.append(f"  grad_norm    p50={grad.get('p50'):.3f} "
+                     f"p95={grad.get('p95'):.3f} max={grad.get('max'):.3f}")
+    return "\n".join(lines)

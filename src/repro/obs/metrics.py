@@ -1,0 +1,200 @@
+"""Metric registry: counters, gauges, EMA meters, and streaming histograms.
+
+Metrics are keyed by dotted names (``train.loss.logloss``, ``train.grad_norm``,
+``data.batch_ms``) and created on first use via the typed accessors of
+:class:`MetricRegistry`.  ``snapshot()`` renders the whole registry as a
+JSON-safe dict, which is what the run-trace sink embeds in the ``run_end``
+event.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "EMAMeter", "StreamingHistogram",
+           "MetricRegistry"]
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_\-]+(\.[A-Za-z0-9_\-]+)*$")
+
+
+class Counter:
+    """Monotonically increasing count (e.g. optimiser steps)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge instead")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (e.g. current learning rate)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class EMAMeter:
+    """Bias-corrected exponential moving average of a stream of values.
+
+    ``value`` equals ``raw / (1 - beta**count)`` so early readings are not
+    dragged toward zero (Adam-style correction).
+    """
+
+    kind = "ema"
+
+    def __init__(self, name: str, beta: float = 0.9):
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        self.name = name
+        self.beta = beta
+        self.count = 0
+        self._raw = 0.0
+        self.last: float | None = None
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._raw = self.beta * self._raw + (1.0 - self.beta) * value
+        self.last = value
+
+    @property
+    def value(self) -> float | None:
+        if self.count == 0:
+            return None
+        return self._raw / (1.0 - self.beta ** self.count)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value, "last": self.last,
+                "count": self.count}
+
+
+class StreamingHistogram:
+    """Quantile sketch over a value stream via deterministic reservoir
+    sampling: exact until ``reservoir_size`` observations, unbiased after."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, reservoir_size: int = 2048):
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.name = name
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._reservoir: list[float] = []
+        # Deterministic replacement stream keeps runs reproducible.
+        self._rng = np.random.default_rng(abs(hash(name)) % (2 ** 32))
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = int(self._rng.integers(0, self.count))
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> float | None:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return None
+        return float(np.quantile(np.asarray(self._reservoir), q))
+
+    @property
+    def p50(self) -> float | None:
+        return self.quantile(0.5)
+
+    @property
+    def p95(self) -> float | None:
+        return self.quantile(0.95)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "count": self.count, "mean": self.mean,
+                "min": self.min, "max": self.max, "p50": self.p50,
+                "p95": self.p95}
+
+
+class MetricRegistry:
+    """Create-on-first-use store of named metrics.
+
+    Re-requesting a name returns the existing instance; requesting it with a
+    different type is an error (one dotted name, one meaning).
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, factory, kind: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if existing.kind != kind:
+                raise TypeError(f"metric {name!r} already registered as "
+                                f"{existing.kind}, requested {kind}")
+            return existing
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}; use dotted "
+                             "segments of [A-Za-z0-9_-]")
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, lambda: Counter(name), "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name), "gauge")
+
+    def ema(self, name: str, beta: float = 0.9) -> EMAMeter:
+        return self._get_or_create(name, lambda: EMAMeter(name, beta), "ema")
+
+    def histogram(self, name: str, reservoir_size: int = 2048
+                  ) -> StreamingHistogram:
+        return self._get_or_create(
+            name, lambda: StreamingHistogram(name, reservoir_size), "histogram")
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-safe dump of every metric, sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}

@@ -1,0 +1,120 @@
+"""Observer sinks: JSONL run traces and a throttled console reporter."""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, TextIO
+
+from .events import (
+    SCHEMA_VERSION,
+    BaseObserver,
+    BatchEndEvent,
+    EpochStartEvent,
+    EvalEndEvent,
+    RunEndEvent,
+    RunStartEvent,
+)
+
+__all__ = ["JsonlTraceWriter", "ConsoleReporter"]
+
+
+def _coerce(value: Any):
+    """json.dumps fallback for numpy scalars and other item()-bearers."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+class JsonlTraceWriter(BaseObserver):
+    """Writes one JSON object per event, schema-versioned, flushed per line.
+
+    The file is opened at construction so an unwritable path fails before
+    training starts, and stays open across runs (``run_experiment`` appends a
+    final test evaluation after the trainer's ``run_end``); close explicitly
+    or use as a context manager.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: TextIO | None = open(path, "w", encoding="utf-8")
+        self.lines_written = 0
+
+    def _write(self, kind: str, payload: dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"trace writer for {self.path} is closed")
+        record = {"schema_version": SCHEMA_VERSION, "event": kind, **payload}
+        self._fh.write(json.dumps(record, default=_coerce) + "\n")
+        self._fh.flush()
+        self.lines_written += 1
+
+    def on_run_start(self, event: RunStartEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_epoch_start(self, event: EpochStartEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_batch_end(self, event: BatchEndEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_eval_end(self, event: EvalEndEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_run_end(self, event: RunEndEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ConsoleReporter(BaseObserver):
+    """Human-readable progress lines, throttled to every ``every`` steps."""
+
+    def __init__(self, every: int = 20, stream: TextIO | None = None):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.every = every
+        self.stream = stream if stream is not None else sys.stdout
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.stream)
+
+    def on_run_start(self, event: RunStartEvent) -> None:
+        self._print(f"[obs] run start: {event.model} "
+                    f"(train={event.num_train}, val={event.num_validation})")
+
+    def on_batch_end(self, event: BatchEndEvent) -> None:
+        if event.step % self.every:
+            return
+        line = (f"[obs] epoch {event.epoch} step {event.step:>6} "
+                f"loss {event.loss:.4f} |grad| {event.grad_norm:.3f}")
+        if event.loss_components:
+            parts = " ".join(f"{k}={v:.4f}"
+                             for k, v in event.loss_components.items())
+            line += f" ({parts})"
+        self._print(line)
+
+    def on_eval_end(self, event: EvalEndEvent) -> None:
+        line = (f"[obs] epoch {event.epoch} {event.split}: "
+                f"AUC={event.auc:.4f} Logloss={event.logloss:.4f}")
+        if event.train_loss is not None:
+            line += f" train_loss={event.train_loss:.4f}"
+        self._print(line)
+
+    def on_run_end(self, event: RunEndEvent) -> None:
+        self._print(f"[obs] run end: best epoch {event.best_epoch} "
+                    f"after {event.epochs_run} epochs / {event.steps} steps "
+                    f"in {event.wall_time_s:.2f}s")
+        shares = sorted(event.timings.items(),
+                        key=lambda kv: kv[1].get("share", 0.0), reverse=True)
+        for name, stat in shares[:5]:
+            self._print(f"[obs]   {name:<24} {100.0 * stat['share']:5.1f}% "
+                        f"({stat['self_s']:.3f}s self, n={stat['count']})")

@@ -1,0 +1,135 @@
+"""Scoped phase timers: attribute wall-time to named phases of a run.
+
+Library code marks its hot paths with the module-level :func:`phase` context
+manager (or the :func:`timed` decorator)::
+
+    with phase("model.ssl.mie"):
+        maps = self.extractor(c)
+
+When no collector is active this is a near-free no-op, so instrumentation can
+live permanently in the data loader, the trainer, and the MISS SSL branches.
+The trainer activates a :class:`PhaseTimings` collector for the duration of a
+run via :func:`collect`; nested phases are accounted hierarchically, i.e. a
+parent's *self* time excludes the time spent in child phases, so time shares
+sum to ~100% of the instrumented window.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .metrics import MetricRegistry
+
+__all__ = ["PhaseStat", "PhaseTimings", "collect", "phase", "timed",
+           "active_timings"]
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated wall-time of one named phase."""
+
+    total_s: float = 0.0
+    child_s: float = 0.0
+    count: int = 0
+
+    @property
+    def self_s(self) -> float:
+        """Time spent in this phase excluding nested child phases."""
+        return self.total_s - self.child_s
+
+
+class PhaseTimings:
+    """Collector of per-phase wall-time with nesting support.
+
+    When constructed with a :class:`MetricRegistry`, every observed duration
+    is also recorded into a ``<name>_ms`` streaming histogram so traces get
+    per-phase latency quantiles (e.g. ``data.batch_ms``).
+    """
+
+    def __init__(self, registry: MetricRegistry | None = None):
+        self.stats: dict[str, PhaseStat] = {}
+        self.registry = registry
+        self._child_stack: list[float] = []
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        self._child_stack.append(0.0)
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            child = self._child_stack.pop()
+            if self._child_stack:
+                self._child_stack[-1] += elapsed
+            self.observe(name, elapsed, child_seconds=child)
+
+    def observe(self, name: str, seconds: float,
+                child_seconds: float = 0.0) -> None:
+        stat = self.stats.setdefault(name, PhaseStat())
+        stat.total_s += seconds
+        stat.child_s += child_seconds
+        stat.count += 1
+        if self.registry is not None:
+            self.registry.histogram(f"{name}_ms").record(seconds * 1000.0)
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of instrumented self-time per phase (sums to 1.0)."""
+        total = sum(stat.self_s for stat in self.stats.values())
+        if total <= 0.0:
+            return {name: 0.0 for name in self.stats}
+        return {name: stat.self_s / total for name, stat in self.stats.items()}
+
+    def snapshot(self) -> dict[str, dict]:
+        """JSON-safe dump: total/self seconds, call count, and time share."""
+        shares = self.shares()
+        return {name: {"total_s": stat.total_s, "self_s": stat.self_s,
+                       "count": stat.count, "share": shares[name]}
+                for name, stat in sorted(self.stats.items())}
+
+
+# The active collector stack.  Single-threaded training loops push one
+# collector for the duration of a run; an empty stack makes phase() a no-op.
+_ACTIVE: list[PhaseTimings] = []
+
+_NOOP = nullcontext()
+
+
+def active_timings() -> PhaseTimings | None:
+    """The innermost active collector, or ``None``."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def collect(timings: PhaseTimings) -> Iterator[PhaseTimings]:
+    """Route all :func:`phase` scopes to ``timings`` inside the block."""
+    _ACTIVE.append(timings)
+    try:
+        yield timings
+    finally:
+        _ACTIVE.pop()
+
+
+def phase(name: str):
+    """Context manager timing one scope under the active collector (no-op
+    when none is active)."""
+    if not _ACTIVE:
+        return _NOOP
+    return _ACTIVE[-1].phase(name)
+
+
+def timed(name: str) -> Callable:
+    """Decorator form of :func:`phase`."""
+
+    def decorate(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with phase(name):
+                return fn(*args, **kwargs)
+        return wrapper
+
+    return decorate

@@ -15,6 +15,7 @@ from ..data.batching import CTRDataset, DataLoader
 from ..data.processing import ProcessedData
 from ..models.base import CTRModel
 from ..nn import no_grad
+from ..obs import EvalEndEvent, ObserverList
 from .calibration import PlattScaler
 from .metrics import EvalResult, auc_score, logloss_score
 from .trainer import TrainConfig, Trainer, TrainResult
@@ -73,16 +74,25 @@ def calibrated_eval(model: CTRModel, data: ProcessedData
 
 def run_experiment(model: CTRModel, data: ProcessedData, config: TrainConfig,
                    model_name: str = "", train: CTRDataset | None = None,
-                   on_batch_end=None) -> ExperimentResult:
+                   on_batch_end=None, observers=None) -> ExperimentResult:
     """Train ``model`` and return calibrated test metrics.
 
     ``train`` overrides the training split (used by the corruption studies);
-    validation/test always come from ``data`` untouched.
+    validation/test always come from ``data`` untouched.  ``observers`` are
+    threaded through to :meth:`Trainer.fit` and additionally receive the
+    calibrated test evaluation as a final ``eval_end`` event (after the
+    trainer's ``run_end``), so run traces record the reported numbers.
     """
+    obs = ObserverList.build(observers, on_batch_end=None)
     train_split = train if train is not None else data.train
     train_result = Trainer(config).fit(model, train_split, data.validation,
-                                       on_batch_end=on_batch_end)
+                                       on_batch_end=on_batch_end,
+                                       observers=obs)
     validation, test = calibrated_eval(model, data)
+    if obs:
+        obs.on_eval_end(EvalEndEvent(
+            epoch=train_result.best_epoch, split="test",
+            auc=test.auc, logloss=test.logloss))
     return ExperimentResult(
         model_name=model_name or type(model).__name__,
         dataset_name=data.schema.name,

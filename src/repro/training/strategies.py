@@ -19,14 +19,15 @@ __all__ = ["train_joint", "train_pretrain"]
 
 def train_joint(model: MISSEnhancedModel, train: CTRDataset,
                 validation: CTRDataset, config: TrainConfig,
-                on_batch_end=None) -> TrainResult:
+                on_batch_end=None, observers=None) -> TrainResult:
     """MISS-Joint: CTR and SSL losses optimised together end-to-end."""
-    return Trainer(config).fit(model, train, validation, on_batch_end=on_batch_end)
+    return Trainer(config).fit(model, train, validation,
+                               on_batch_end=on_batch_end, observers=observers)
 
 
 def train_pretrain(model: MISSEnhancedModel, train: CTRDataset,
                    validation: CTRDataset, config: TrainConfig,
-                   pretrain_epochs: int = 3) -> TrainResult:
+                   pretrain_epochs: int = 3, observers=None) -> TrainResult:
     """MISS-Pre: SSL-only pre-training, then CTR-only fine-tuning.
 
     Stage one runs ``pretrain_epochs`` passes that minimise only the weighted
@@ -51,4 +52,5 @@ def train_pretrain(model: MISSEnhancedModel, train: CTRDataset,
             optimizer.step()
 
     # Stage two: plain CTR fine-tuning of the base model (embeddings warm).
-    return Trainer(config).fit(model.base, train, validation)
+    return Trainer(config).fit(model.base, train, validation,
+                               observers=observers)

@@ -3,18 +3,39 @@
 Follows the paper's protocol (§VI-A5): Adam optimiser, batch size 128, the
 validation split drives hyper-parameter/epoch selection, and reported numbers
 come from the test split.
+
+The loop narrates itself through the :mod:`repro.obs` event bus: pass
+``observers=[...]`` to receive structured run/epoch/batch/eval events, with
+per-phase wall-time (data assembly, forward, backward, optimiser step, eval)
+and per-component losses when the model exposes them.  The historical
+``on_batch_end(model, batch, step)`` callback keeps working as a shim.  With
+no observers attached the instrumentation is skipped entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from ..data.batching import Batch, CTRDataset, DataLoader
 from ..models.base import CTRModel
-from ..nn import Adam, clip_grad_norm
+from ..nn import Adam, clip_grad_norm, no_grad
+from ..obs import (
+    BatchEndEvent,
+    EpochStartEvent,
+    EvalEndEvent,
+    MetricRegistry,
+    ObserverList,
+    PhaseTimings,
+    RunEndEvent,
+    RunStartEvent,
+    collect,
+    phase,
+)
 from .metrics import EvalResult, auc_score, logloss_score
 
 __all__ = ["TrainConfig", "TrainResult", "Trainer", "evaluate"]
@@ -49,6 +70,10 @@ class TrainResult:
     validation: EvalResult
     history: list[EvalResult] = field(default_factory=list)
     train_losses: list[float] = field(default_factory=list)
+    #: JSON-safe telemetry snapshots; populated only when observers were
+    #: attached to the run (metric registry dump and per-phase timings).
+    metrics: dict | None = None
+    timings: dict | None = None
 
 
 def evaluate(model: CTRModel, dataset: CTRDataset, batch_size: int = 512) -> EvalResult:
@@ -56,7 +81,8 @@ def evaluate(model: CTRModel, dataset: CTRDataset, batch_size: int = 512) -> Eva
     was_training = model.training
     model.eval()
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
-    probs = np.concatenate([model.predict_proba(batch) for batch in loader])
+    with no_grad():
+        probs = np.concatenate([model.predict_proba(batch) for batch in loader])
     if was_training:
         model.train()
     return EvalResult(auc=auc_score(dataset.labels, probs),
@@ -74,8 +100,10 @@ class Trainer:
         self.config = config
 
     def fit(self, model: CTRModel, train: CTRDataset, validation: CTRDataset,
-            on_batch_end: BatchCallback | None = None) -> TrainResult:
+            on_batch_end: BatchCallback | None = None,
+            observers=None) -> TrainResult:
         cfg = self.config
+        obs = ObserverList.build(observers, on_batch_end)
         rng = np.random.default_rng(cfg.seed)
         loader = DataLoader(train, batch_size=cfg.batch_size, shuffle=True, rng=rng)
         optimizer = Adam(model.parameters(), lr=cfg.learning_rate,
@@ -88,26 +116,70 @@ class Trainer:
         losses: list[float] = []
         step = 0
 
+        # Instrumentation is armed only when someone is listening, so a bare
+        # ``fit()`` pays nothing for the telemetry layer.
+        instrument = bool(obs)
+        registry = MetricRegistry() if instrument else None
+        timings = PhaseTimings(registry=registry) if instrument else None
+        run_start = time.perf_counter()
+        epochs_run = 0
+        if instrument:
+            obs.on_run_start(RunStartEvent(
+                model=type(model).__name__, num_train=len(train),
+                num_validation=len(validation), config=asdict(cfg)))
+
         model.train()
         for epoch in range(cfg.epochs):
+            epochs_run = epoch + 1
+            if instrument:
+                obs.on_epoch_start(EpochStartEvent(epoch=epoch))
             epoch_loss = 0.0
             num_batches = 0
-            for batch in loader:
-                optimizer.zero_grad()
-                loss = model.training_loss(batch)
-                loss.backward()
-                clip_grad_norm(optimizer.parameters, cfg.grad_clip)
-                optimizer.step()
-                epoch_loss += loss.item()
-                num_batches += 1
-                step += 1
-                if on_batch_end is not None:
-                    on_batch_end(model, batch, step)
+            component_sums: dict[str, float] = {}
+            with collect(timings) if instrument else nullcontext():
+                for batch in loader:
+                    optimizer.zero_grad()
+                    with phase("train.forward"):
+                        loss = model.training_loss(batch)
+                    with phase("train.backward"):
+                        loss.backward()
+                    with phase("train.optim"):
+                        grad_norm = clip_grad_norm(optimizer.parameters,
+                                                   cfg.grad_clip)
+                        optimizer.step()
+                    loss_value = loss.item()
+                    epoch_loss += loss_value
+                    num_batches += 1
+                    step += 1
+                    if instrument:
+                        components = getattr(model, "last_loss_components", None)
+                        self._record_step(registry, loss_value, grad_norm,
+                                          components)
+                        if components:
+                            for name, value in components.items():
+                                component_sums[name] = (
+                                    component_sums.get(name, 0.0) + value)
+                        obs.on_batch_end(BatchEndEvent(
+                            epoch=epoch, step=step, loss=loss_value,
+                            grad_norm=grad_norm, loss_components=components,
+                            model=model, batch=batch))
+                with phase("train.eval"):
+                    result = evaluate(model, validation)
             losses.append(epoch_loss / max(num_batches, 1))
-
-            result = evaluate(model, validation)
             history.append(result)
-            if result.auc > best_auc:
+            if instrument:
+                means = ({name: total / max(num_batches, 1)
+                          for name, total in component_sums.items()}
+                         or None)
+                obs.on_eval_end(EvalEndEvent(
+                    epoch=epoch, split="validation", auc=result.auc,
+                    logloss=result.logloss, train_loss=losses[-1],
+                    loss_components=means))
+
+            # NaN validation AUC must not silently win (NaN > x is False for
+            # every x); it counts as a non-improving epoch here and the
+            # all-NaN case is rejected explicitly after the loop.
+            if np.isfinite(result.auc) and result.auc > best_auc:
                 best_auc = result.auc
                 best_state = model.state_dict()
                 best_epoch = epoch
@@ -117,7 +189,29 @@ class Trainer:
                 if bad_epochs >= cfg.patience:
                     break
 
-        if best_state is not None:
-            model.load_state_dict(best_state)
+        if best_state is None:
+            raise RuntimeError(
+                "training never produced a finite validation AUC "
+                f"({epochs_run} epoch(s), last={history[-1].auc!r}); "
+                "refusing to silently select the final weights")
+        model.load_state_dict(best_state)
+        telemetry_metrics = registry.snapshot() if instrument else None
+        telemetry_timings = timings.snapshot() if instrument else None
+        if instrument:
+            obs.on_run_end(RunEndEvent(
+                best_epoch=best_epoch, epochs_run=epochs_run, steps=step,
+                wall_time_s=time.perf_counter() - run_start,
+                timings=telemetry_timings, metrics=telemetry_metrics))
         return TrainResult(best_epoch=best_epoch, validation=history[best_epoch],
-                           history=history, train_losses=losses)
+                           history=history, train_losses=losses,
+                           metrics=telemetry_metrics, timings=telemetry_timings)
+
+    @staticmethod
+    def _record_step(registry: MetricRegistry, loss: float, grad_norm: float,
+                     components: dict[str, float] | None) -> None:
+        registry.counter("train.steps").inc()
+        registry.ema("train.loss.total").update(loss)
+        registry.histogram("train.grad_norm").record(grad_norm)
+        if components:
+            for name, value in components.items():
+                registry.ema(f"train.loss.{name}").update(value)

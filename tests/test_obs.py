@@ -1,0 +1,410 @@
+"""Tests for the observability subsystem: events, metrics, timers, sinks,
+trace inspection, and its integration with the trainer and CLI."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import MISSConfig, SimilarityTracker, attach_miss
+from repro.data import InterestWorld, InterestWorldConfig, build_ctr_data
+from repro.models import create_model, model_class, supports_miss
+from repro.obs import (
+    SCHEMA_VERSION,
+    BaseObserver,
+    BatchEndEvent,
+    CallbackObserver,
+    ConsoleReporter,
+    EMAMeter,
+    EpochStartEvent,
+    EvalEndEvent,
+    JsonlTraceWriter,
+    MetricRegistry,
+    ObserverList,
+    PhaseTimings,
+    RunEndEvent,
+    RunStartEvent,
+    StreamingHistogram,
+    active_timings,
+    collect,
+    phase,
+    read_trace,
+    render_summary,
+    summarize_trace,
+    timed,
+)
+from repro.training import TrainConfig, Trainer, run_experiment
+
+
+@pytest.fixture(scope="module")
+def data():
+    config = InterestWorldConfig(num_users=40, num_items=100, num_topics=6,
+                                 num_categories=3, min_interactions=2, seed=8)
+    return build_ctr_data(InterestWorld(config), max_seq_len=10, seed=9)
+
+
+class Recorder(BaseObserver):
+    """Observer that logs every event it receives, in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_run_start(self, event):
+        self.events.append(event)
+
+    def on_epoch_start(self, event):
+        self.events.append(event)
+
+    def on_batch_end(self, event):
+        self.events.append(event)
+
+    def on_eval_end(self, event):
+        self.events.append(event)
+
+    def on_run_end(self, event):
+        self.events.append(event)
+
+
+# ---------------------------------------------------------------------------
+# Metric registry
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_counter(self):
+        registry = MetricRegistry()
+        counter = registry.counter("train.steps")
+        counter.inc()
+        counter.inc(3)
+        assert registry.counter("train.steps").value == 4
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("lr")
+        assert gauge.value is None
+        gauge.set(0.01)
+        gauge.set(0.005)
+        assert gauge.value == pytest.approx(0.005)
+
+    def test_ema_matches_numpy_reference(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=50)
+        beta = 0.9
+        meter = EMAMeter("loss", beta=beta)
+        for v in values:
+            meter.update(v)
+        # Bias-corrected EMA reference computed directly.
+        raw = 0.0
+        for v in values:
+            raw = beta * raw + (1 - beta) * v
+        expected = raw / (1 - beta ** values.size)
+        assert meter.value == pytest.approx(expected)
+        assert meter.last == pytest.approx(values[-1])
+        with pytest.raises(ValueError):
+            EMAMeter("bad", beta=1.0)
+
+    def test_histogram_exact_below_reservoir(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=200)
+        hist = StreamingHistogram("t", reservoir_size=1000)
+        for v in values:
+            hist.record(v)
+        assert hist.count == 200
+        assert hist.min == pytest.approx(values.min())
+        assert hist.max == pytest.approx(values.max())
+        assert hist.mean == pytest.approx(values.mean())
+        assert hist.p50 == pytest.approx(np.quantile(values, 0.5))
+        assert hist.p95 == pytest.approx(np.quantile(values, 0.95))
+
+    def test_histogram_reservoir_bounds_memory(self):
+        hist = StreamingHistogram("t", reservoir_size=64)
+        for v in range(5000):
+            hist.record(float(v))
+        assert hist.count == 5000
+        assert len(hist._reservoir) == 64
+        assert hist.max == 4999.0
+        # The sampled median should land in the bulk of the stream.
+        assert 500 < hist.p50 < 4500
+
+    def test_name_and_type_collisions(self):
+        registry = MetricRegistry()
+        registry.counter("a.b")
+        with pytest.raises(TypeError):
+            registry.gauge("a.b")
+        with pytest.raises(ValueError):
+            registry.counter("bad name!")
+        assert "a.b" in registry
+        assert registry.names() == ["a.b"]
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricRegistry()
+        registry.counter("c").inc()
+        registry.ema("e").update(1.5)
+        registry.histogram("h").record(2.0)
+        registry.gauge("g").set(3.0)
+        dumped = json.loads(json.dumps(registry.snapshot()))
+        assert set(dumped) == {"c", "e", "g", "h"}
+        assert dumped["h"]["p50"] == 2.0
+
+
+# ---------------------------------------------------------------------------
+# Phase timers
+# ---------------------------------------------------------------------------
+class TestTimers:
+    def test_noop_without_collector(self):
+        assert active_timings() is None
+        with phase("anything"):
+            pass  # must not raise or record anywhere
+
+    def test_nesting_attributes_self_time(self):
+        timings = PhaseTimings()
+        with collect(timings):
+            assert active_timings() is timings
+            with phase("outer"):
+                time.sleep(0.01)
+                with phase("inner"):
+                    time.sleep(0.02)
+        outer, inner = timings.stats["outer"], timings.stats["inner"]
+        assert outer.count == 1 and inner.count == 1
+        assert outer.total_s >= inner.total_s
+        assert outer.self_s == pytest.approx(outer.total_s - inner.total_s)
+        shares = timings.shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert active_timings() is None
+
+    def test_timed_decorator(self):
+        timings = PhaseTimings()
+
+        @timed("fn")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2            # works without a collector
+        with collect(timings):
+            assert work(2) == 3
+        assert timings.stats["fn"].count == 1
+
+    def test_registry_receives_ms_histograms(self):
+        registry = MetricRegistry()
+        timings = PhaseTimings(registry=registry)
+        with collect(timings):
+            with phase("data.batch"):
+                pass
+        hist = registry.get("data.batch_ms")
+        assert hist is not None and hist.count == 1
+
+    def test_snapshot_shape(self):
+        timings = PhaseTimings()
+        timings.observe("a", 0.5)
+        snap = timings.snapshot()
+        assert snap["a"]["count"] == 1
+        assert snap["a"]["share"] == pytest.approx(1.0)
+        json.dumps(snap)
+
+
+# ---------------------------------------------------------------------------
+# Event bus through the trainer
+# ---------------------------------------------------------------------------
+class TestTrainerEvents:
+    def test_event_ordering_and_payloads(self, data):
+        recorder = Recorder()
+        model = create_model("LR", data.schema, seed=1)
+        Trainer(TrainConfig(epochs=2, seed=0)).fit(
+            model, data.train, data.validation, observers=[recorder])
+
+        kinds = [type(e).kind for e in recorder.events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        # Each epoch: epoch_start, batch_end*, eval_end.
+        assert kinds[1] == "epoch_start"
+        assert "eval_end" in kinds
+        first_eval = kinds.index("eval_end")
+        assert all(k == "batch_end" for k in kinds[2:first_eval])
+
+        start = recorder.events[0]
+        assert isinstance(start, RunStartEvent)
+        assert start.model == "LRModel"
+        assert start.num_train == len(data.train)
+        assert start.config["epochs"] == 2
+
+        batch_events = [e for e in recorder.events
+                        if isinstance(e, BatchEndEvent)]
+        steps = [e.step for e in batch_events]
+        assert steps == list(range(1, len(steps) + 1))
+        assert all(np.isfinite(e.loss) and e.grad_norm >= 0
+                   for e in batch_events)
+        # Live refs are present in-process but excluded from the payload.
+        assert batch_events[0].model is model
+        assert "model" not in batch_events[0].payload()
+
+        end = recorder.events[-1]
+        assert isinstance(end, RunEndEvent)
+        assert end.steps == len(batch_events)
+        assert "train.forward" in end.timings
+        assert end.metrics["train.steps"]["value"] == len(batch_events)
+
+    def test_no_observers_skips_telemetry(self, data):
+        model = create_model("LR", data.schema, seed=1)
+        result = Trainer(TrainConfig(epochs=1, seed=0)).fit(
+            model, data.train, data.validation)
+        assert result.metrics is None and result.timings is None
+
+    def test_telemetry_attached_to_result(self, data):
+        model = create_model("LR", data.schema, seed=1)
+        result = Trainer(TrainConfig(epochs=1, seed=0)).fit(
+            model, data.train, data.validation, observers=[Recorder()])
+        assert result.metrics is not None
+        assert "train.loss.total" in result.metrics
+        assert "train.forward" in result.timings
+
+    def test_callback_shim_still_works(self, data):
+        calls = []
+        model = create_model("LR", data.schema, seed=1)
+        Trainer(TrainConfig(epochs=1, seed=0)).fit(
+            model, data.train, data.validation,
+            on_batch_end=lambda m, b, s: calls.append((m, s)))
+        assert [s for _, s in calls] == list(range(1, len(calls) + 1))
+        assert all(m is model for m, _ in calls)
+
+    def test_observer_list_build(self):
+        shim = ObserverList.build(None, on_batch_end=lambda m, b, s: None)
+        assert len(shim) == 1 and isinstance(shim.observers[0],
+                                             CallbackObserver)
+        nested = ObserverList.build(shim)
+        assert nested.observers == shim.observers
+        single = ObserverList.build(Recorder())
+        assert len(single) == 1
+        assert not ObserverList.build(None)
+
+    def test_miss_loss_components_recorded(self, data):
+        recorder = Recorder()
+        model = attach_miss(create_model("DIN", data.schema, seed=1),
+                            MISSConfig(seed=0))
+        Trainer(TrainConfig(epochs=1, seed=0)).fit(
+            model, data.train, data.validation, observers=[recorder])
+        batch_events = [e for e in recorder.events
+                        if isinstance(e, BatchEndEvent)]
+        assert batch_events
+        components = batch_events[0].loss_components
+        assert set(components) == {"logloss", "ssl_interest", "ssl_feature"}
+        # Eq. 17: total = logloss + α1·ssl + α2·ssl'.
+        cfg = model.config
+        expected = (components["logloss"]
+                    + cfg.alpha_interest * components["ssl_interest"]
+                    + cfg.alpha_feature * components["ssl_feature"])
+        assert batch_events[0].loss == pytest.approx(expected, rel=1e-6)
+        end = recorder.events[-1]
+        assert "model.ssl.mie" in end.timings
+        assert "model.ssl.infonce" in end.timings
+
+    def test_similarity_tracker_as_observer(self, data):
+        model = attach_miss(create_model("DIN", data.schema, seed=1),
+                            MISSConfig(seed=0))
+        tracker = SimilarityTracker(every=1)
+        Trainer(TrainConfig(epochs=1, seed=0)).fit(
+            model, data.train, data.validation, observers=[tracker])
+        assert tracker.steps and len(tracker.steps) == len(tracker.similarities)
+
+
+# ---------------------------------------------------------------------------
+# Sinks and trace inspection
+# ---------------------------------------------------------------------------
+class TestSinksAndInspect:
+    def _write_trace(self, data, path):
+        model = create_model("LR", data.schema, seed=1)
+        with JsonlTraceWriter(str(path)) as writer:
+            run_experiment(model, data, TrainConfig(epochs=2, seed=0),
+                           model_name="LR", observers=[writer])
+        return path
+
+    def test_jsonl_round_trip(self, data, tmp_path):
+        path = self._write_trace(data, tmp_path / "run.jsonl")
+        events = read_trace(str(path))
+        assert all(e["schema_version"] == SCHEMA_VERSION for e in events)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start"
+        assert kinds.count("run_end") == 1
+        # run_experiment appends the calibrated test eval after run_end.
+        assert kinds[-1] == "eval_end"
+        assert events[-1]["split"] == "test"
+        run_end = next(e for e in events if e["event"] == "run_end")
+        assert "train.forward" in run_end["timings"]
+        assert "train.grad_norm" in run_end["metrics"]
+
+    def test_summarize_and_render(self, data, tmp_path):
+        path = self._write_trace(data, tmp_path / "run.jsonl")
+        summary = summarize_trace(str(path))
+        assert summary.model == "LRModel"
+        assert summary.num_runs == 1
+        assert len(summary.epochs) >= 1
+        assert "test" in summary.final_evals
+        text = render_summary(summary)
+        assert "Phase time share" in text
+        assert "train.forward" in text
+        assert "test" in text
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        with pytest.raises(ValueError):
+            read_trace(str(bad))
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError):
+            read_trace(str(empty))
+        wrong = tmp_path / "wrong.jsonl"
+        wrong.write_text(json.dumps({"schema_version": 999,
+                                     "event": "run_start"}) + "\n")
+        with pytest.raises(ValueError):
+            read_trace(str(wrong))
+
+    def test_console_reporter_throttles(self):
+        import io
+        stream = io.StringIO()
+        reporter = ConsoleReporter(every=10, stream=stream)
+        for step in range(1, 31):
+            reporter.on_batch_end(BatchEndEvent(epoch=0, step=step, loss=1.0,
+                                                grad_norm=0.5))
+        assert len(stream.getvalue().strip().splitlines()) == 3
+        reporter.on_eval_end(EvalEndEvent(epoch=0, split="validation",
+                                          auc=0.6, logloss=0.69))
+        assert "AUC=0.6000" in stream.getvalue()
+        with pytest.raises(ValueError):
+            ConsoleReporter(every=0)
+
+    def test_inspect_run_cli(self, data, tmp_path, capsys):
+        path = self._write_trace(data, tmp_path / "run.jsonl")
+        assert main(["inspect-run", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Phase time share" in out
+        assert "Final metrics" in out
+
+    def test_writer_fails_fast_on_bad_path(self, tmp_path):
+        with pytest.raises(OSError):
+            JsonlTraceWriter(str(tmp_path / "no-such-dir" / "x.jsonl"))
+        writer = JsonlTraceWriter(str(tmp_path / "ok.jsonl"))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.on_epoch_start(EpochStartEvent(epoch=0))
+
+    def test_inspect_run_cli_missing_file(self, tmp_path, capsys):
+        assert main(["inspect-run", str(tmp_path / "nope.jsonl")]) == 1
+        assert "inspect-run:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Registry capability helpers (used by `compare`)
+# ---------------------------------------------------------------------------
+class TestCapabilities:
+    def test_supports_miss(self):
+        assert not supports_miss("LR")
+        assert supports_miss("DIN")
+        assert supports_miss("DeepFM")
+        with pytest.raises(KeyError):
+            supports_miss("NotAModel")
+
+    def test_model_class_matches_instance(self, data):
+        model = create_model("DIN", data.schema, seed=0)
+        assert isinstance(model, model_class("DIN"))

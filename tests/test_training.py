@@ -170,6 +170,53 @@ class TestTrainer:
         assert calls == list(range(1, len(calls) + 1))
 
 
+class TestNaNValidation:
+    """Regression tests: NaN validation AUC must not silently select the
+    last epoch (NaN > best is always False, so best_epoch stayed -1)."""
+
+    def test_all_nan_auc_raises(self, data, monkeypatch):
+        from repro.training import trainer as trainer_module
+        from repro.training.metrics import EvalResult
+        monkeypatch.setattr(
+            trainer_module, "evaluate",
+            lambda model, dataset, batch_size=512: EvalResult(
+                auc=float("nan"), logloss=float("nan")))
+        model = create_model("LR", data.schema, seed=1)
+        with pytest.raises(RuntimeError, match="finite validation AUC"):
+            Trainer(TrainConfig(epochs=3, seed=0)).fit(
+                model, data.train, data.validation)
+
+    def test_nan_after_finite_epoch_keeps_best(self, data, monkeypatch):
+        from repro.training import trainer as trainer_module
+        from repro.training.metrics import EvalResult
+        results = iter([EvalResult(auc=0.6, logloss=0.69)]
+                       + [EvalResult(auc=float("nan"), logloss=0.7)] * 10)
+        monkeypatch.setattr(
+            trainer_module, "evaluate",
+            lambda model, dataset, batch_size=512: next(results))
+        model = create_model("LR", data.schema, seed=1)
+        result = Trainer(TrainConfig(epochs=6, patience=2, seed=0)).fit(
+            model, data.train, data.validation)
+        assert result.best_epoch == 0
+        assert result.validation.auc == pytest.approx(0.6)
+        # NaN epochs count toward early stopping: 1 finite + patience bad.
+        assert len(result.history) == 3
+
+    def test_evaluate_runs_under_no_grad(self, data):
+        from repro.nn import is_grad_enabled
+        model = create_model("LR", data.schema, seed=1)
+        flags = []
+        original = model.predict_proba
+
+        def probed(batch):
+            flags.append(is_grad_enabled())
+            return original(batch)
+
+        model.predict_proba = probed
+        evaluate(model, data.validation)
+        assert flags and not any(flags)
+
+
 class TestExperiment:
     def test_run_experiment_full_protocol(self, data):
         model = create_model("DeepFM", data.schema, seed=1)
