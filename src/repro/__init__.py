@@ -9,10 +9,11 @@ Subpackages
 ``repro.core``           the MISS framework (extractors, augmentation, losses)
 ``repro.ssl_baselines``  Rule / IRSSL / S3Rec / CL4SRec (Table VI)
 ``repro.training``       trainer, metrics, calibration, experiment runner
+``repro.resilience``     crash-safe checkpoints, exact resume, anomaly recovery
 ``repro.bench``          benchmark harness regenerating every table and figure
 """
 
 __version__ = "1.0.0"
 
 __all__ = ["nn", "data", "models", "core", "ssl_baselines", "training",
-           "bench", "__version__"]
+           "resilience", "bench", "__version__"]

@@ -36,6 +36,7 @@ from .obs import (
     render_summary,
     summarize_trace,
 )
+from .resilience import NumericalAnomalyError, TrainingInterrupted
 from .training import TrainConfig, run_experiment
 
 __all__ = ["main", "build_parser"]
@@ -75,6 +76,26 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--model", choices=MODEL_NAMES, default="DIN")
     train.add_argument("--miss", action="store_true",
                        help="attach the MISS SSL component")
+    train.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="write atomic, checksummed run checkpoints to "
+                            "DIR (every --checkpoint-every steps and each "
+                            "epoch end); SIGINT/SIGTERM then checkpoint and "
+                            "exit cleanly")
+    train.add_argument("--resume", action="store_true",
+                       help="continue from the latest valid checkpoint in "
+                            "--checkpoint-dir (bit-identical to an "
+                            "uninterrupted run)")
+    train.add_argument("--checkpoint-every", type=int, metavar="N",
+                       default=200,
+                       help="steps between mid-epoch checkpoints "
+                            "(default 200; epoch ends always checkpoint)")
+    train.add_argument("--keep-checkpoints", type=int, metavar="K", default=3,
+                       help="retention: keep the last K checkpoints plus the "
+                            "best one (default 3)")
+    train.add_argument("--anomaly-guard", action="store_true",
+                       help="detect NaN/Inf loss or gradients and loss "
+                            "spikes; roll back to the last good checkpoint "
+                            "with learning-rate backoff before giving up")
 
     compare = sub.add_parser("compare", help="train several models")
     add_common(compare)
@@ -137,16 +158,39 @@ def _train_one(model_name: str, args: argparse.Namespace, data,
         label = f"{model_name}-MISS"
     config = TrainConfig(epochs=args.epochs, learning_rate=args.learning_rate,
                          weight_decay=1e-5, patience=4, seed=args.seed)
+    # Resilience flags exist on the `train` subcommand only; `compare` runs
+    # several models into one directory-less session.
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
     return run_experiment(model, data, config, model_name=label,
-                          observers=observers)
+                          observers=observers,
+                          checkpoint_dir=checkpoint_dir,
+                          resume=getattr(args, "resume", False),
+                          checkpoint_every=(getattr(args, "checkpoint_every",
+                                                    None)
+                                            if checkpoint_dir else None),
+                          keep_checkpoints=getattr(args, "keep_checkpoints",
+                                                   3),
+                          anomaly_guard=getattr(args, "anomaly_guard", False))
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     observers = _build_observers(args)
     try:
         result = _train_one(args.model, args, data, miss=args.miss,
                             observers=observers)
+    except TrainingInterrupted as exc:
+        print(f"train: {exc}", file=sys.stderr)
+        if exc.checkpoint is not None:
+            print(f"train: rerun with --resume to continue bit-identically",
+                  file=sys.stderr)
+        return exc.exit_code
+    except NumericalAnomalyError as exc:
+        print(f"train: numerical anomaly not recoverable: {exc}",
+              file=sys.stderr)
+        return 1
     finally:
         _close_observers(observers)
     print(f"{result.model_name} on {args.dataset}: test {result.test}")

@@ -103,12 +103,27 @@ class DataLoader:
         return (n + self.batch_size - 1) // self.batch_size
 
     def __iter__(self):
+        yield from self.iter_batches()
+
+    def iter_batches(self, skip: int = 0):
+        """Iterate the epoch, optionally skipping the first ``skip`` batches.
+
+        The permutation is drawn exactly as a full epoch would draw it, and
+        skipped batches are never materialised — this is how a resumed run
+        replays a partially completed epoch bit-identically: restore the
+        loader RNG to its epoch-start state and skip the batches already
+        trained on.
+        """
+        if skip < 0:
+            raise ValueError("skip must be >= 0")
         n = len(self.dataset)
         order = self._rng.permutation(n) if self.shuffle else np.arange(n)
-        for start in range(0, n, self.batch_size):
+        for index, start in enumerate(range(0, n, self.batch_size)):
             chunk = order[start:start + self.batch_size]
             if self.drop_last and chunk.size < self.batch_size:
                 return
+            if index < skip:
+                continue
             with phase("data.batch"):
                 batch = self.dataset.batch(chunk)
             yield batch

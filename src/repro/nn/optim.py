@@ -38,6 +38,47 @@ class Optimizer:
             return p.grad + self.weight_decay * p.data
         return p.grad
 
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Restorable snapshot: hyper-parameters + slot arrays (copies).
+
+        Layout: scalar fields at the top level, every per-parameter slot
+        array under ``"arrays"`` keyed ``"<slot>.<index>"`` — flat names so
+        checkpoint stores can serialise them directly into an ``.npz``.
+        """
+        return {"kind": type(self).__name__, "lr": float(self.lr),
+                "weight_decay": float(self.weight_decay), "arrays": {}}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        self._check_kind(state)
+        self.lr = float(state["lr"])
+        self.weight_decay = float(state["weight_decay"])
+
+    def _check_kind(self, state: dict) -> None:
+        kind = state.get("kind")
+        if kind != type(self).__name__:
+            raise ValueError(f"optimizer state is for {kind!r}, "
+                             f"not {type(self).__name__}")
+
+    def _load_slots(self, state: dict, slots: dict[str, list[np.ndarray]]
+                    ) -> None:
+        """Copy ``arrays`` entries into per-parameter slot lists, validated."""
+        arrays = state.get("arrays", {})
+        for slot_name, slot in slots.items():
+            for i, current in enumerate(slot):
+                key = f"{slot_name}.{i}"
+                if key not in arrays:
+                    raise ValueError(f"optimizer state missing array {key!r}")
+                incoming = np.asarray(arrays[key])
+                if incoming.shape != current.shape:
+                    raise ValueError(
+                        f"optimizer state shape mismatch for {key!r}: "
+                        f"{incoming.shape} vs {current.shape}")
+                slot[i] = incoming.astype(current.dtype, copy=True)
+
 
 class SGD(Optimizer):
     """Vanilla stochastic gradient descent with optional momentum."""
@@ -58,6 +99,18 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["momentum"] = float(self.momentum)
+        state["arrays"] = {f"velocity.{i}": v.copy()
+                           for i, v in enumerate(self._velocity)}
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state.get("momentum", self.momentum))
+        self._load_slots(state, {"velocity": self._velocity})
 
 
 class Adam(Optimizer):
@@ -89,6 +142,23 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["betas"] = [float(b) for b in self.betas]
+        state["eps"] = float(self.eps)
+        state["t"] = int(self._t)
+        arrays = {f"m.{i}": m.copy() for i, m in enumerate(self._m)}
+        arrays.update({f"v.{i}": v.copy() for i, v in enumerate(self._v)})
+        state["arrays"] = arrays
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.betas = tuple(float(b) for b in state.get("betas", self.betas))
+        self.eps = float(state.get("eps", self.eps))
+        self._t = int(state["t"])
+        self._load_slots(state, {"m": self._m, "v": self._v})
 
 
 def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:

@@ -4,6 +4,12 @@ Used for the pre-training workflow of Table IX (pre-train once, fine-tune
 many configurations) and for shipping trained models between processes.
 Parameters and buffers are stored flat under their dotted names; loading is
 strict by default so silent architecture drift cannot go unnoticed.
+
+Writes go through :func:`repro.resilience.atomic.atomic_write_npz` (temp file
++ fsync + rename), so a crash mid-save can never leave a truncated archive in
+place of a previous good one.  Full training-run state (optimiser, RNG,
+counters) lives in :class:`repro.resilience.CheckpointStore`; this module
+remains the thin weights-only format.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..resilience.atomic import atomic_write_npz
 from .module import Module
 
 __all__ = ["save_checkpoint", "load_checkpoint"]
@@ -31,8 +38,8 @@ def save_checkpoint(module: Module, path: str | Path) -> Path:
     state = module.state_dict()
     if _META_KEY in state:
         raise ValueError(f"state dict may not use the reserved key {_META_KEY}")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **state, **{_META_KEY: np.array(_VERSION)})
+    atomic_write_npz(path, {**state, _META_KEY: np.array(_VERSION)},
+                     compressed=True)
     return path
 
 

@@ -8,9 +8,12 @@ nothing unless a collector is active.  See DESIGN.md §"Observability".
 
 from .events import (
     SCHEMA_VERSION,
+    AnomalyDetectedEvent,
     BaseObserver,
     BatchEndEvent,
     CallbackObserver,
+    CheckpointRestoredEvent,
+    CheckpointWrittenEvent,
     EpochStartEvent,
     EvalEndEvent,
     ObserverList,
@@ -28,6 +31,8 @@ __all__ = [
     "RunObserver", "BaseObserver", "ObserverList", "CallbackObserver",
     "RunStartEvent", "EpochStartEvent", "BatchEndEvent", "EvalEndEvent",
     "RunEndEvent",
+    "CheckpointWrittenEvent", "CheckpointRestoredEvent",
+    "AnomalyDetectedEvent",
     "Counter", "Gauge", "EMAMeter", "StreamingHistogram", "MetricRegistry",
     "PhaseStat", "PhaseTimings", "collect", "phase", "timed", "active_timings",
     "JsonlTraceWriter", "ConsoleReporter",

@@ -20,6 +20,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "RunStartEvent", "EpochStartEvent", "BatchEndEvent", "EvalEndEvent",
     "RunEndEvent",
+    "CheckpointWrittenEvent", "CheckpointRestoredEvent",
+    "AnomalyDetectedEvent",
     "RunObserver", "BaseObserver", "ObserverList", "CallbackObserver",
 ]
 
@@ -144,6 +146,73 @@ class RunEndEvent:
                           "timings": self.timings, "metrics": self.metrics})
 
 
+@dataclass
+class CheckpointWrittenEvent:
+    """Emitted after a durable run checkpoint is committed to disk (or, with
+    no checkpoint directory, after an in-memory rollback snapshot is taken —
+    then ``path`` is None)."""
+
+    kind: ClassVar[str] = "checkpoint_written"
+
+    step: int
+    epoch: int
+    path: str | None = None
+    is_best: bool = False
+    completed: bool = False
+
+    def payload(self) -> dict[str, Any]:
+        return {"step": int(self.step), "epoch": int(self.epoch),
+                "path": self.path, "is_best": bool(self.is_best),
+                "completed": bool(self.completed)}
+
+
+@dataclass
+class CheckpointRestoredEvent:
+    """Emitted when training state is restored from a checkpoint.
+
+    ``reason`` is ``"resume"`` (continuing a killed run) or ``"rollback"``
+    (anomaly recovery); ``skipped`` lists newer checkpoints that failed
+    checksum validation and were passed over.
+    """
+
+    kind: ClassVar[str] = "checkpoint_restored"
+
+    step: int
+    epoch: int
+    reason: str
+    path: str | None = None
+    skipped: list[str] | None = None
+
+    def payload(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"step": int(self.step),
+                               "epoch": int(self.epoch),
+                               "reason": self.reason, "path": self.path}
+        if self.skipped:
+            out["skipped"] = list(self.skipped)
+        return out
+
+
+@dataclass
+class AnomalyDetectedEvent:
+    """Emitted when the anomaly guard flags a step (before any rollback)."""
+
+    kind: ClassVar[str] = "anomaly_detected"
+
+    step: int
+    epoch: int
+    anomaly: str          # non_finite_loss | non_finite_grad | loss_spike
+    value: float
+    lr: float
+    retries: int
+    retries_remaining: int
+
+    def payload(self) -> dict[str, Any]:
+        return {"step": int(self.step), "epoch": int(self.epoch),
+                "anomaly": self.anomaly, "value": float(self.value),
+                "lr": float(self.lr), "retries": int(self.retries),
+                "retries_remaining": int(self.retries_remaining)}
+
+
 @runtime_checkable
 class RunObserver(Protocol):
     """The observer protocol; implement any subset of the five hooks."""
@@ -171,6 +240,15 @@ class BaseObserver:
         pass
 
     def on_run_end(self, event: RunEndEvent) -> None:
+        pass
+
+    def on_checkpoint_written(self, event: CheckpointWrittenEvent) -> None:
+        pass
+
+    def on_checkpoint_restored(self, event: CheckpointRestoredEvent) -> None:
+        pass
+
+    def on_anomaly_detected(self, event: AnomalyDetectedEvent) -> None:
         pass
 
 
@@ -236,3 +314,24 @@ class ObserverList(BaseObserver):
     def on_run_end(self, event: RunEndEvent) -> None:
         for obs in self.observers:
             obs.on_run_end(event)
+
+    # The resilience hooks fan out via getattr so that pre-existing
+    # duck-typed observers implementing only the original five hooks keep
+    # working unchanged.
+    def on_checkpoint_written(self, event: CheckpointWrittenEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_checkpoint_written", None)
+            if hook is not None:
+                hook(event)
+
+    def on_checkpoint_restored(self, event: CheckpointRestoredEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_checkpoint_restored", None)
+            if hook is not None:
+                hook(event)
+
+    def on_anomaly_detected(self, event: AnomalyDetectedEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_anomaly_detected", None)
+            if hook is not None:
+                hook(event)

@@ -3,13 +3,18 @@
 from __future__ import annotations
 
 import json
+import os
 import sys
+from contextlib import suppress
 from typing import Any, TextIO
 
 from .events import (
     SCHEMA_VERSION,
+    AnomalyDetectedEvent,
     BaseObserver,
     BatchEndEvent,
+    CheckpointRestoredEvent,
+    CheckpointWrittenEvent,
     EpochStartEvent,
     EvalEndEvent,
     RunEndEvent,
@@ -29,6 +34,13 @@ def _coerce(value: Any):
 class JsonlTraceWriter(BaseObserver):
     """Writes one JSON object per event, schema-versioned, flushed per line.
 
+    Crash-safe by design: every record is flushed to the OS immediately, so a
+    trace from a killed or crashed run is readable up to the last completed
+    event — the resume workflow relies on this to reconstruct what happened.
+    ``close`` additionally fsyncs, is idempotent, and runs from ``__exit__``
+    and ``__del__`` so an exception anywhere in the run cannot strand an open
+    handle with buffered records.
+
     The file is opened at construction so an unwritable path fails before
     training starts, and stays open across runs (``run_experiment`` appends a
     final test evaluation after the trainer's ``run_end``); close explicitly
@@ -39,6 +51,10 @@ class JsonlTraceWriter(BaseObserver):
         self.path = path
         self._fh: TextIO | None = open(path, "w", encoding="utf-8")
         self.lines_written = 0
+
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
 
     def _write(self, kind: str, payload: dict) -> None:
         if self._fh is None:
@@ -63,16 +79,32 @@ class JsonlTraceWriter(BaseObserver):
     def on_run_end(self, event: RunEndEvent) -> None:
         self._write(event.kind, event.payload())
 
+    def on_checkpoint_written(self, event: CheckpointWrittenEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_checkpoint_restored(self, event: CheckpointRestoredEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_anomaly_detected(self, event: AnomalyDetectedEvent) -> None:
+        self._write(event.kind, event.payload())
+
     def close(self) -> None:
         if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+            fh, self._fh = self._fh, None
+            with suppress(OSError, ValueError):
+                fh.flush()
+                os.fsync(fh.fileno())
+            fh.close()
 
     def __enter__(self) -> "JsonlTraceWriter":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter shutdown ordering
+        with suppress(Exception):
+            self.close()
 
 
 class ConsoleReporter(BaseObserver):
@@ -108,6 +140,24 @@ class ConsoleReporter(BaseObserver):
         if event.train_loss is not None:
             line += f" train_loss={event.train_loss:.4f}"
         self._print(line)
+
+    def on_checkpoint_written(self, event: CheckpointWrittenEvent) -> None:
+        where = event.path or "memory"
+        flags = "".join([" (best)" if event.is_best else "",
+                         " (final)" if event.completed else ""])
+        self._print(f"[obs] checkpoint @ step {event.step}: {where}{flags}")
+
+    def on_checkpoint_restored(self, event: CheckpointRestoredEvent) -> None:
+        line = (f"[obs] restored checkpoint @ step {event.step} "
+                f"(epoch {event.epoch}, {event.reason})")
+        if event.skipped:
+            line += f" — skipped {len(event.skipped)} corrupt checkpoint(s)"
+        self._print(line)
+
+    def on_anomaly_detected(self, event: AnomalyDetectedEvent) -> None:
+        self._print(f"[obs] ANOMALY {event.anomaly} @ step {event.step}: "
+                    f"value={event.value!r} lr={event.lr:g} "
+                    f"retries left={event.retries_remaining}")
 
     def on_run_end(self, event: RunEndEvent) -> None:
         self._print(f"[obs] run end: best epoch {event.best_epoch} "

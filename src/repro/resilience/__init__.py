@@ -1,0 +1,56 @@
+"""Crash-safe training: durable checkpoints, exact resume, anomaly recovery.
+
+Three cooperating pieces (see DESIGN.md §"Resilience"):
+
+* :mod:`.atomic` / :mod:`.checkpoint` — atomic temp+fsync+rename writes of a
+  :class:`RunCheckpoint` (model, optimiser, RNG streams, loop counters) with a
+  per-array SHA-256 manifest; :class:`CheckpointStore` verifies on load and
+  falls back past corrupt files.
+* :mod:`.signals` — SIGINT/SIGTERM become "finish the step, checkpoint, exit
+  cleanly" via :class:`GracefulInterrupt` / :class:`TrainingInterrupted`.
+* :mod:`.anomaly` — :class:`AnomalyGuard` detects NaN/Inf losses and
+  gradients and loss spikes, driving rollback + learning-rate backoff with a
+  bounded retry budget.
+
+``Trainer.fit(..., checkpoint_dir=..., resume=True, anomaly_guard=True)``
+wires them together; a resumed run continues bit-identically to an
+uninterrupted one.
+"""
+
+from .anomaly import (
+    AnomalyGuard,
+    AnomalyGuardConfig,
+    AnomalySignal,
+    NumericalAnomalyError,
+)
+from .atomic import (
+    atomic_write,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+)
+from .checkpoint import (
+    FORMAT_VERSION,
+    CheckpointCorruptError,
+    CheckpointStore,
+    RunCheckpoint,
+    array_digest,
+)
+from .rngstate import (
+    named_rng_states,
+    restore_rng_states,
+    rng_state,
+    set_rng_state,
+)
+from .signals import GracefulInterrupt, TrainingInterrupted
+
+__all__ = [
+    "atomic_write", "atomic_write_bytes", "atomic_write_json",
+    "atomic_write_npz",
+    "RunCheckpoint", "CheckpointStore", "CheckpointCorruptError",
+    "array_digest", "FORMAT_VERSION",
+    "named_rng_states", "restore_rng_states", "rng_state", "set_rng_state",
+    "AnomalyGuard", "AnomalyGuardConfig", "AnomalySignal",
+    "NumericalAnomalyError",
+    "GracefulInterrupt", "TrainingInterrupted",
+]

@@ -1,0 +1,76 @@
+"""Atomic file writes: temp file in the target directory + fsync + rename.
+
+Every durable artefact of a training run (checkpoint arrays, manifests, the
+legacy ``.npz`` model files) goes through :func:`atomic_write`, so a crash at
+any instant leaves either the previous file or the new one on disk — never a
+truncated hybrid.  The temp file lives in the destination directory so the
+final ``os.replace`` stays on one filesystem and is atomic; the directory is
+fsynced afterwards so the rename itself survives a power cut.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import suppress
+from pathlib import Path
+from typing import Any, BinaryIO, Callable
+
+import numpy as np
+
+__all__ = ["atomic_write", "atomic_write_bytes", "atomic_write_json",
+           "atomic_write_npz"]
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry to disk; best-effort on exotic filesystems."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        with suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write(path: str | Path, write: Callable[[BinaryIO], None]) -> Path:
+    """Run ``write(fh)`` against a temp file, then atomically publish ``path``.
+
+    The temp file is flushed and fsynced before the rename; on any failure it
+    is removed and the previous contents of ``path`` (if any) are untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    _fsync_dir(path.parent)
+    return path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    return atomic_write(path, lambda fh: fh.write(data))
+
+
+def atomic_write_json(path: str | Path, obj: Any) -> Path:
+    payload = json.dumps(obj, sort_keys=True).encode("utf-8")
+    return atomic_write_bytes(path, payload)
+
+
+def atomic_write_npz(path: str | Path, arrays: dict[str, np.ndarray],
+                     compressed: bool = False) -> Path:
+    """Atomically write an ``.npz`` archive of named arrays."""
+    savez = np.savez_compressed if compressed else np.savez
+    return atomic_write(path, lambda fh: savez(fh, **arrays))

@@ -1,0 +1,73 @@
+"""Capture and restore every ``np.random.Generator`` reachable from a module.
+
+Exact resume needs more than model weights: dropout layers, DIEN's auxiliary
+sampler, and the MISS augmentation module all hold private generators whose
+bit-generator state advances every step.  These helpers walk a module tree the
+same way ``Module.named_parameters`` does and snapshot each generator's state
+by attribute path, so a restored run replays the identical random stream.
+
+A generator shared between several modules appears once per path; restoring
+the same state through every alias is idempotent.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..nn.module import Module
+
+__all__ = ["named_rng_states", "restore_rng_states", "rng_state", "set_rng_state"]
+
+
+def rng_state(rng: np.random.Generator) -> dict[str, Any]:
+    """A deep copy of ``rng``'s bit-generator state (JSON-safe dict)."""
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_rng_state(rng: np.random.Generator, state: dict[str, Any]) -> None:
+    rng.bit_generator.state = copy.deepcopy(state)
+
+
+def _iter_rngs(module: Module, prefix: str = ""
+               ) -> Iterator[tuple[str, np.random.Generator]]:
+    for name, value in vars(module).items():
+        path = f"{prefix}{name}"
+        if isinstance(value, np.random.Generator):
+            yield path, value
+        elif isinstance(value, Module):
+            yield from _iter_rngs(value, prefix=f"{path}.")
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                if isinstance(item, np.random.Generator):
+                    yield f"{path}.{i}", item
+                elif isinstance(item, Module):
+                    yield from _iter_rngs(item, prefix=f"{path}.{i}.")
+
+
+def named_rng_states(module: Module) -> dict[str, dict[str, Any]]:
+    """Bit-generator states of every generator on ``module``, keyed by path."""
+    return {path: rng_state(gen) for path, gen in _iter_rngs(module)}
+
+
+def restore_rng_states(module: Module, states: dict[str, dict[str, Any]],
+                       strict: bool = True) -> None:
+    """Restore states captured by :func:`named_rng_states`.
+
+    With ``strict`` (the default) a path mismatch raises, because it means the
+    module tree changed shape since the checkpoint was taken and the random
+    stream could silently diverge.
+    """
+    own = dict(_iter_rngs(module))
+    missing = set(own) - set(states)
+    unexpected = set(states) - set(own)
+    if strict and (missing or unexpected):
+        raise ValueError(
+            f"rng state mismatch: missing={sorted(missing)}, "
+            f"unexpected={sorted(unexpected)}")
+    for path, state in states.items():
+        gen = own.get(path)
+        if gen is not None:
+            set_rng_state(gen, state)

@@ -46,6 +46,10 @@ class ExperimentResult:
 def predict_logits_array(model: CTRModel, dataset: CTRDataset,
                          batch_size: int = 512) -> np.ndarray:
     """Raw logits for every sample of ``dataset`` in eval mode."""
+    if len(dataset) == 0:
+        raise ValueError(
+            f"cannot predict on an empty split of dataset "
+            f"{dataset.schema.name!r}: it contains no samples")
     was_training = model.training
     model.eval()
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
@@ -74,7 +78,11 @@ def calibrated_eval(model: CTRModel, data: ProcessedData
 
 def run_experiment(model: CTRModel, data: ProcessedData, config: TrainConfig,
                    model_name: str = "", train: CTRDataset | None = None,
-                   on_batch_end=None, observers=None) -> ExperimentResult:
+                   on_batch_end=None, observers=None, *,
+                   checkpoint_dir=None, resume: bool = False,
+                   checkpoint_every: int | None = None,
+                   keep_checkpoints: int = 3,
+                   anomaly_guard=None) -> ExperimentResult:
     """Train ``model`` and return calibrated test metrics.
 
     ``train`` overrides the training split (used by the corruption studies);
@@ -82,12 +90,21 @@ def run_experiment(model: CTRModel, data: ProcessedData, config: TrainConfig,
     threaded through to :meth:`Trainer.fit` and additionally receive the
     calibrated test evaluation as a final ``eval_end`` event (after the
     trainer's ``run_end``), so run traces record the reported numbers.
+
+    The resilience options (``checkpoint_dir``/``resume``/
+    ``checkpoint_every``/``keep_checkpoints``/``anomaly_guard``) are passed
+    straight to :meth:`Trainer.fit` — see :mod:`repro.resilience`.
     """
     obs = ObserverList.build(observers, on_batch_end=None)
     train_split = train if train is not None else data.train
     train_result = Trainer(config).fit(model, train_split, data.validation,
                                        on_batch_end=on_batch_end,
-                                       observers=obs)
+                                       observers=obs,
+                                       checkpoint_dir=checkpoint_dir,
+                                       resume=resume,
+                                       checkpoint_every=checkpoint_every,
+                                       keep_checkpoints=keep_checkpoints,
+                                       anomaly_guard=anomaly_guard)
     validation, test = calibrated_eval(model, data)
     if obs:
         obs.on_eval_end(EvalEndEvent(

@@ -10,13 +10,26 @@ per-phase wall-time (data assembly, forward, backward, optimiser step, eval)
 and per-component losses when the model exposes them.  The historical
 ``on_batch_end(model, batch, step)`` callback keeps working as a shim.  With
 no observers attached the instrumentation is skipped entirely.
+
+Crash safety (see :mod:`repro.resilience` and DESIGN.md §"Resilience"):
+``fit(..., checkpoint_dir=...)`` writes atomic, checksummed
+:class:`~repro.resilience.RunCheckpoint` files every ``checkpoint_every``
+steps and at every epoch end; ``resume=True`` continues a killed run
+bit-identically (same weights, same metrics) because the checkpoint carries
+the optimiser moments, the loader RNG state at epoch start, and every
+module-level RNG stream.  SIGINT/SIGTERM finish the in-flight step, write a
+final checkpoint, and raise :class:`~repro.resilience.TrainingInterrupted`.
+``anomaly_guard=True`` adds NaN/Inf/spike detection with rollback to the last
+good checkpoint and learning-rate backoff under a bounded retry budget.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
+from pathlib import Path
 from typing import Callable
 
 import numpy as np
@@ -25,7 +38,10 @@ from ..data.batching import Batch, CTRDataset, DataLoader
 from ..models.base import CTRModel
 from ..nn import Adam, clip_grad_norm, no_grad
 from ..obs import (
+    AnomalyDetectedEvent,
     BatchEndEvent,
+    CheckpointRestoredEvent,
+    CheckpointWrittenEvent,
     EpochStartEvent,
     EvalEndEvent,
     MetricRegistry,
@@ -35,6 +51,19 @@ from ..obs import (
     RunStartEvent,
     collect,
     phase,
+)
+from ..resilience import (
+    AnomalyGuard,
+    AnomalySignal,
+    CheckpointStore,
+    GracefulInterrupt,
+    NumericalAnomalyError,
+    RunCheckpoint,
+    TrainingInterrupted,
+    named_rng_states,
+    restore_rng_states,
+    rng_state,
+    set_rng_state,
 )
 from .metrics import EvalResult, auc_score, logloss_score
 
@@ -56,10 +85,24 @@ class TrainConfig:
     seed: int = 0
 
     def __post_init__(self):
+        # Bad CLI input must fail here, at construction, not mid-run.
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
         if self.patience < 1:
             raise ValueError("patience must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not math.isfinite(self.learning_rate) or self.learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be finite and positive, "
+                f"got {self.learning_rate!r}")
+        if not math.isfinite(self.grad_clip) or self.grad_clip <= 0:
+            raise ValueError(
+                f"grad_clip must be finite and positive, got {self.grad_clip!r}")
+        if not math.isfinite(self.weight_decay) or self.weight_decay < 0:
+            raise ValueError(
+                f"weight_decay must be finite and non-negative, "
+                f"got {self.weight_decay!r}")
 
 
 @dataclass
@@ -78,6 +121,10 @@ class TrainResult:
 
 def evaluate(model: CTRModel, dataset: CTRDataset, batch_size: int = 512) -> EvalResult:
     """AUC/Logloss of ``model`` on ``dataset`` in eval mode."""
+    if len(dataset) == 0:
+        raise ValueError(
+            f"cannot evaluate on an empty split of dataset "
+            f"{dataset.schema.name!r}: it contains no samples")
     was_training = model.training
     model.eval()
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
@@ -87,6 +134,29 @@ def evaluate(model: CTRModel, dataset: CTRDataset, batch_size: int = 512) -> Eva
         model.train()
     return EvalResult(auc=auc_score(dataset.labels, probs),
                       logloss=logloss_score(dataset.labels, probs))
+
+
+class _RunState:
+    """Mutable loop state of one training run — exactly what a
+    :class:`RunCheckpoint` serialises, plus the live loader RNG."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+        self.epoch = 0
+        self.batches_done = 0          # batches completed in current epoch
+        self.epoch_rng_state = rng_state(rng)  # loader RNG at epoch start
+        self.step = 0
+        self.best_auc = -np.inf
+        self.best_state: dict[str, np.ndarray] | None = None
+        self.best_epoch = -1
+        self.bad_epochs = 0
+        self.history: list[EvalResult] = []
+        self.losses: list[float] = []
+        self.epoch_loss = 0.0
+        self.num_batches = 0
+        self.component_sums: dict[str, float] = {}
+        self.epochs_run = 0
+        self.completed = False
 
 
 class Trainer:
@@ -101,20 +171,47 @@ class Trainer:
 
     def fit(self, model: CTRModel, train: CTRDataset, validation: CTRDataset,
             on_batch_end: BatchCallback | None = None,
-            observers=None) -> TrainResult:
+            observers=None, *,
+            checkpoint_dir: str | Path | None = None,
+            resume: bool = False,
+            checkpoint_every: int | None = None,
+            keep_checkpoints: int = 3,
+            anomaly_guard=None,
+            handle_signals: bool | None = None) -> TrainResult:
         cfg = self.config
         obs = ObserverList.build(observers, on_batch_end)
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        store = (CheckpointStore(checkpoint_dir, keep_last=keep_checkpoints)
+                 if checkpoint_dir is not None else None)
+        if resume and store is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        guard = AnomalyGuard.build(anomaly_guard)
+        if handle_signals is None:
+            handle_signals = store is not None
+
         rng = np.random.default_rng(cfg.seed)
-        loader = DataLoader(train, batch_size=cfg.batch_size, shuffle=True, rng=rng)
+        loader = DataLoader(train, batch_size=cfg.batch_size, shuffle=True,
+                            rng=rng)
         optimizer = Adam(model.parameters(), lr=cfg.learning_rate,
                          weight_decay=cfg.weight_decay)
-        best_auc = -np.inf
-        best_state: dict[str, np.ndarray] | None = None
-        best_epoch = -1
-        bad_epochs = 0
-        history: list[EvalResult] = []
-        losses: list[float] = []
-        step = 0
+        state = _RunState(rng)
+
+        if resume:
+            ckpt, path, skipped = store.load_latest()
+            if ckpt is not None:
+                self._restore(ckpt, model, optimizer, state, guard)
+                obs.on_checkpoint_restored(CheckpointRestoredEvent(
+                    step=ckpt.step, epoch=ckpt.epoch, reason="resume",
+                    path=str(path),
+                    skipped=[str(p) for p, _ in skipped] or None))
+                if ckpt.completed:
+                    # The run already finished; the checkpointed model state
+                    # is the best-epoch weights, so just report the result.
+                    return TrainResult(
+                        best_epoch=state.best_epoch,
+                        validation=state.history[state.best_epoch],
+                        history=state.history, train_losses=state.losses)
 
         # Instrumentation is armed only when someone is listening, so a bare
         # ``fit()`` pays nothing for the telemetry layer.
@@ -122,89 +219,262 @@ class Trainer:
         registry = MetricRegistry() if instrument else None
         timings = PhaseTimings(registry=registry) if instrument else None
         run_start = time.perf_counter()
-        epochs_run = 0
         if instrument:
             obs.on_run_start(RunStartEvent(
                 model=type(model).__name__, num_train=len(train),
                 num_validation=len(validation), config=asdict(cfg)))
 
         model.train()
-        for epoch in range(cfg.epochs):
-            epochs_run = epoch + 1
-            if instrument:
-                obs.on_epoch_start(EpochStartEvent(epoch=epoch))
-            epoch_loss = 0.0
-            num_batches = 0
-            component_sums: dict[str, float] = {}
+        interrupt = GracefulInterrupt() if handle_signals else None
+        with (interrupt if interrupt is not None else nullcontext()):
+            if guard is not None and guard.last_good is None:
+                # Arm rollback from step one: snapshot the initial state.
+                guard.snapshot(self._capture(model, optimizer, state, guard))
+            while True:
+                try:
+                    self._train_epochs(model, loader, validation, optimizer,
+                                       state, obs, instrument, registry,
+                                       timings, store, guard,
+                                       checkpoint_every, interrupt)
+                except AnomalySignal as signal_:
+                    self._recover(signal_, guard, model, optimizer, state, obs)
+                    continue
+                break
+
+        if state.best_state is None:
+            raise RuntimeError(
+                "training never produced a finite validation AUC "
+                f"({state.epochs_run} epoch(s), "
+                f"last={state.history[-1].auc!r}); "
+                "refusing to silently select the final weights")
+        model.load_state_dict(state.best_state)
+        state.completed = True
+        if store is not None:
+            # Final checkpoint: model holds the best-epoch weights and the
+            # run is flagged complete, so a later --resume is a no-op.
+            self._write_checkpoint(model, optimizer, state, store, guard, obs,
+                                   is_best=True)
+        telemetry_metrics = registry.snapshot() if instrument else None
+        telemetry_timings = timings.snapshot() if instrument else None
+        if instrument:
+            obs.on_run_end(RunEndEvent(
+                best_epoch=state.best_epoch, epochs_run=state.epochs_run,
+                steps=state.step,
+                wall_time_s=time.perf_counter() - run_start,
+                timings=telemetry_timings, metrics=telemetry_metrics))
+        return TrainResult(best_epoch=state.best_epoch,
+                           validation=state.history[state.best_epoch],
+                           history=state.history, train_losses=state.losses,
+                           metrics=telemetry_metrics,
+                           timings=telemetry_timings)
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+    def _train_epochs(self, model, loader, validation, optimizer,
+                      state: _RunState, obs, instrument, registry, timings,
+                      store, guard, checkpoint_every, interrupt) -> None:
+        cfg = self.config
+        while state.epoch < cfg.epochs and state.bad_epochs < cfg.patience:
+            epoch = state.epoch
+            state.epochs_run = epoch + 1
+            skip = state.batches_done
+            if skip == 0:
+                state.epoch_rng_state = rng_state(state.rng)
+                state.epoch_loss = 0.0
+                state.num_batches = 0
+                state.component_sums = {}
+                if instrument:
+                    obs.on_epoch_start(EpochStartEvent(epoch=epoch))
+            else:
+                # Resuming (or rolling back) mid-epoch: rewind the loader RNG
+                # to the epoch start so the permutation replays identically,
+                # then skip the batches that were already trained on.
+                set_rng_state(state.rng, state.epoch_rng_state)
             with collect(timings) if instrument else nullcontext():
-                for batch in loader:
-                    optimizer.zero_grad()
-                    with phase("train.forward"):
-                        loss = model.training_loss(batch)
-                    with phase("train.backward"):
-                        loss.backward()
-                    with phase("train.optim"):
-                        grad_norm = clip_grad_norm(optimizer.parameters,
-                                                   cfg.grad_clip)
-                        optimizer.step()
-                    loss_value = loss.item()
-                    epoch_loss += loss_value
-                    num_batches += 1
-                    step += 1
-                    if instrument:
-                        components = getattr(model, "last_loss_components", None)
-                        self._record_step(registry, loss_value, grad_norm,
-                                          components)
-                        if components:
-                            for name, value in components.items():
-                                component_sums[name] = (
-                                    component_sums.get(name, 0.0) + value)
-                        obs.on_batch_end(BatchEndEvent(
-                            epoch=epoch, step=step, loss=loss_value,
-                            grad_norm=grad_norm, loss_components=components,
-                            model=model, batch=batch))
+                for batch in loader.iter_batches(skip=skip):
+                    self._train_step(model, batch, optimizer, state, obs,
+                                     instrument, registry, guard)
+                    if (checkpoint_every
+                            and state.step % checkpoint_every == 0):
+                        self._write_checkpoint(model, optimizer, state,
+                                               store, guard, obs)
+                    if interrupt is not None and interrupt.requested:
+                        path = (self._write_checkpoint(
+                                    model, optimizer, state, store, guard,
+                                    obs) if store is not None else None)
+                        raise TrainingInterrupted(
+                            signum=interrupt.signum, step=state.step,
+                            checkpoint=path)
                 with phase("train.eval"):
                     result = evaluate(model, validation)
-            losses.append(epoch_loss / max(num_batches, 1))
-            history.append(result)
+            state.losses.append(state.epoch_loss / max(state.num_batches, 1))
+            state.history.append(result)
             if instrument:
-                means = ({name: total / max(num_batches, 1)
-                          for name, total in component_sums.items()}
+                means = ({name: total / max(state.num_batches, 1)
+                          for name, total in state.component_sums.items()}
                          or None)
                 obs.on_eval_end(EvalEndEvent(
                     epoch=epoch, split="validation", auc=result.auc,
-                    logloss=result.logloss, train_loss=losses[-1],
+                    logloss=result.logloss, train_loss=state.losses[-1],
                     loss_components=means))
 
             # NaN validation AUC must not silently win (NaN > x is False for
             # every x); it counts as a non-improving epoch here and the
             # all-NaN case is rejected explicitly after the loop.
-            if np.isfinite(result.auc) and result.auc > best_auc:
-                best_auc = result.auc
-                best_state = model.state_dict()
-                best_epoch = epoch
-                bad_epochs = 0
+            improved = np.isfinite(result.auc) and result.auc > state.best_auc
+            if improved:
+                state.best_auc = result.auc
+                state.best_state = model.state_dict()
+                state.best_epoch = epoch
+                state.bad_epochs = 0
             else:
-                bad_epochs += 1
-                if bad_epochs >= cfg.patience:
-                    break
+                state.bad_epochs += 1
+            state.epoch += 1
+            state.batches_done = 0
+            if store is not None or guard is not None:
+                self._write_checkpoint(model, optimizer, state, store, guard,
+                                       obs, is_best=improved)
 
-        if best_state is None:
-            raise RuntimeError(
-                "training never produced a finite validation AUC "
-                f"({epochs_run} epoch(s), last={history[-1].auc!r}); "
-                "refusing to silently select the final weights")
-        model.load_state_dict(best_state)
-        telemetry_metrics = registry.snapshot() if instrument else None
-        telemetry_timings = timings.snapshot() if instrument else None
+    def _train_step(self, model, batch, optimizer, state: _RunState, obs,
+                    instrument, registry, guard) -> None:
+        cfg = self.config
+        optimizer.zero_grad()
+        with phase("train.forward"):
+            loss = model.training_loss(batch)
+        loss_value = loss.item()
+        if guard is not None:
+            kind = guard.check_loss(loss_value)
+            if kind is not None:
+                raise AnomalySignal(kind, loss_value, state.step + 1,
+                                    state.epoch)
+        with phase("train.backward"):
+            loss.backward()
+        with phase("train.optim"):
+            grad_norm = clip_grad_norm(optimizer.parameters, cfg.grad_clip)
+            if guard is not None:
+                kind = guard.check_grad_norm(grad_norm)
+                if kind is not None:
+                    # Caught before the update applies, so the weights stay
+                    # finite; rollback still rewinds to replay the stream.
+                    raise AnomalySignal(kind, grad_norm, state.step + 1,
+                                        state.epoch)
+            optimizer.step()
+        if guard is not None:
+            guard.record(loss_value)
+        state.epoch_loss += loss_value
+        state.num_batches += 1
+        state.step += 1
+        state.batches_done += 1
         if instrument:
-            obs.on_run_end(RunEndEvent(
-                best_epoch=best_epoch, epochs_run=epochs_run, steps=step,
-                wall_time_s=time.perf_counter() - run_start,
-                timings=telemetry_timings, metrics=telemetry_metrics))
-        return TrainResult(best_epoch=best_epoch, validation=history[best_epoch],
-                           history=history, train_losses=losses,
-                           metrics=telemetry_metrics, timings=telemetry_timings)
+            components = getattr(model, "last_loss_components", None)
+            self._record_step(registry, loss_value, grad_norm, components)
+            if components:
+                for name, value in components.items():
+                    state.component_sums[name] = (
+                        state.component_sums.get(name, 0.0) + value)
+            obs.on_batch_end(BatchEndEvent(
+                epoch=state.epoch, step=state.step, loss=loss_value,
+                grad_norm=grad_norm, loss_components=components,
+                model=model, batch=batch))
+
+    # ------------------------------------------------------------------
+    # Checkpoint capture / restore
+    # ------------------------------------------------------------------
+    def _capture(self, model, optimizer, state: _RunState,
+                 guard) -> RunCheckpoint:
+        return RunCheckpoint(
+            model_state=model.state_dict(),
+            optimizer_state=optimizer.state_dict(),
+            loader_rng_state=state.epoch_rng_state,
+            module_rng_states=named_rng_states(model),
+            epoch=state.epoch,
+            batches_done=state.batches_done,
+            step=state.step,
+            best_auc=float(state.best_auc),
+            best_epoch=state.best_epoch,
+            bad_epochs=state.bad_epochs,
+            best_state=({k: v.copy() for k, v in state.best_state.items()}
+                        if state.best_state is not None else None),
+            history=[{"auc": float(r.auc), "logloss": float(r.logloss)}
+                     for r in state.history],
+            train_losses=list(state.losses),
+            epoch_loss=state.epoch_loss,
+            num_batches=state.num_batches,
+            component_sums=dict(state.component_sums),
+            epochs_run=state.epochs_run,
+            anomaly_retries=guard.retries if guard is not None else 0,
+            config=asdict(self.config),
+            completed=state.completed,
+        )
+
+    def _write_checkpoint(self, model, optimizer, state: _RunState, store,
+                          guard, obs, is_best: bool = False) -> Path | None:
+        ckpt = self._capture(model, optimizer, state, guard)
+        path = store.save(ckpt, is_best=is_best) if store is not None else None
+        if guard is not None:
+            guard.snapshot(ckpt, path)
+        obs.on_checkpoint_written(CheckpointWrittenEvent(
+            step=state.step, epoch=state.epoch,
+            path=str(path) if path is not None else None,
+            is_best=is_best, completed=state.completed))
+        return path
+
+    @staticmethod
+    def _restore(ckpt: RunCheckpoint, model, optimizer, state: _RunState,
+                 guard=None) -> None:
+        model.load_state_dict(ckpt.model_state)
+        optimizer.load_state_dict(ckpt.optimizer_state)
+        restore_rng_states(model, ckpt.module_rng_states)
+        set_rng_state(state.rng, ckpt.loader_rng_state)
+        state.epoch_rng_state = ckpt.loader_rng_state
+        state.epoch = ckpt.epoch
+        state.batches_done = ckpt.batches_done
+        state.step = ckpt.step
+        state.best_auc = ckpt.best_auc
+        state.best_epoch = ckpt.best_epoch
+        state.bad_epochs = ckpt.bad_epochs
+        state.best_state = ({k: v.copy() for k, v in ckpt.best_state.items()}
+                            if ckpt.best_state is not None else None)
+        state.history = [EvalResult(auc=row["auc"], logloss=row["logloss"])
+                         for row in ckpt.history]
+        state.losses = list(ckpt.train_losses)
+        state.epoch_loss = ckpt.epoch_loss
+        state.num_batches = ckpt.num_batches
+        state.component_sums = dict(ckpt.component_sums)
+        state.epochs_run = ckpt.epochs_run
+        state.completed = ckpt.completed
+        if guard is not None:
+            guard.retries = ckpt.anomaly_retries
+
+    def _recover(self, signal_: AnomalySignal, guard: AnomalyGuard | None,
+                 model, optimizer, state: _RunState, obs) -> None:
+        """Roll back to the last good checkpoint with LR backoff, or give up."""
+        if guard is None:  # pragma: no cover - signals only raised with guard
+            raise signal_
+        guard.retries += 1
+        obs.on_anomaly_detected(AnomalyDetectedEvent(
+            step=signal_.step, epoch=signal_.epoch, anomaly=signal_.kind,
+            value=signal_.value, lr=optimizer.lr, retries=guard.retries,
+            retries_remaining=guard.retries_remaining))
+        if guard.retries > guard.config.max_retries or guard.last_good is None:
+            raise NumericalAnomalyError(
+                f"{signal_.kind} at step {signal_.step} "
+                f"(value={signal_.value!r}); retry budget of "
+                f"{guard.config.max_retries} exhausted "
+                f"(lr reached {optimizer.lr:g})") from signal_
+        lr_at_failure = optimizer.lr
+        ckpt = guard.last_good
+        self._restore(ckpt, model, optimizer, state)
+        guard.retries = max(guard.retries, ckpt.anomaly_retries)
+        # Back off from the lr in effect when the anomaly hit (not the
+        # restored one) so repeated failures keep shrinking the step size.
+        optimizer.lr = lr_at_failure * guard.config.backoff_factor
+        guard.reset_stats()
+        obs.on_checkpoint_restored(CheckpointRestoredEvent(
+            step=ckpt.step, epoch=ckpt.epoch, reason="rollback",
+            path=(str(guard.last_good_path)
+                  if guard.last_good_path is not None else None)))
 
     @staticmethod
     def _record_step(registry: MetricRegistry, loss: float, grad_norm: float,
