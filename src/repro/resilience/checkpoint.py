@@ -163,17 +163,18 @@ class CheckpointStore:
             return
         keep = set(manifests[-self.keep_last:])
         # Never drop the newest checkpoint flagged best: it holds the weights
-        # the run would ship if it ended now.
+        # the run would ship if it ended now.  The scan stops at the newest
+        # best even when it already sits inside the keep-last window — older
+        # best-flagged checkpoints are superseded and age out with the rest.
         for path in reversed(manifests):
-            if path in keep:
-                continue
             try:
                 with open(path, "r", encoding="utf-8") as fh:
-                    if json.load(fh).get("is_best"):
-                        keep.add(path)
-                        break
+                    is_best = bool(json.load(fh).get("is_best"))
             except (OSError, json.JSONDecodeError):
                 continue
+            if is_best:
+                keep.add(path)
+                break
         for path in manifests:
             if path not in keep:
                 path.unlink(missing_ok=True)

@@ -17,8 +17,11 @@ Crash safety (see :mod:`repro.resilience` and DESIGN.md §"Resilience"):
 steps and at every epoch end; ``resume=True`` continues a killed run
 bit-identically (same weights, same metrics) because the checkpoint carries
 the optimiser moments, the loader RNG state at epoch start, and every
-module-level RNG stream.  SIGINT/SIGTERM finish the in-flight step, write a
-final checkpoint, and raise :class:`~repro.resilience.TrainingInterrupted`.
+module-level RNG stream.  If *every* checkpoint on disk fails validation,
+``resume=True`` raises instead of silently restarting from scratch.
+SIGINT/SIGTERM finish the in-flight step (or the in-flight epoch-end eval),
+write a final checkpoint, and raise
+:class:`~repro.resilience.TrainingInterrupted`.
 ``anomaly_guard=True`` adds NaN/Inf/spike detection with rollback to the last
 good checkpoint and learning-rate backoff under a bounded retry budget.
 """
@@ -55,6 +58,7 @@ from ..obs import (
 from ..resilience import (
     AnomalyGuard,
     AnomalySignal,
+    CheckpointCorruptError,
     CheckpointStore,
     GracefulInterrupt,
     NumericalAnomalyError,
@@ -199,6 +203,15 @@ class Trainer:
 
         if resume:
             ckpt, path, skipped = store.load_latest()
+            if ckpt is None and skipped:
+                # Every checkpoint on disk failed validation.  Restarting from
+                # scratch here would silently discard a (possibly multi-hour)
+                # run and overwrite the corrupt-but-diagnostic files.
+                reasons = "; ".join(f"{p}: {why}" for p, why in skipped)
+                raise CheckpointCorruptError(
+                    f"resume=True, but no checkpoint in {store.directory} "
+                    f"passed validation; refusing to silently restart from "
+                    f"scratch ({reasons})")
             if ckpt is not None:
                 self._restore(ckpt, model, optimizer, state, guard)
                 obs.on_checkpoint_restored(CheckpointRestoredEvent(
@@ -332,9 +345,23 @@ class Trainer:
                 state.bad_epochs += 1
             state.epoch += 1
             state.batches_done = 0
+            # The finished epoch's permutation has already been drawn from the
+            # loader RNG, so the state *now* is what the next epoch consumes.
+            # Refresh the capture before the epoch-end checkpoint — a resume
+            # from a stale capture would replay the finished epoch's
+            # permutation and diverge from the uninterrupted run.
+            state.epoch_rng_state = rng_state(state.rng)
+            path = None
             if store is not None or guard is not None:
-                self._write_checkpoint(model, optimizer, state, store, guard,
-                                       obs, is_best=improved)
+                path = self._write_checkpoint(model, optimizer, state, store,
+                                              guard, obs, is_best=improved)
+            # A signal that landed during eval or the checkpoint write above
+            # must not wait for the next epoch's first step — on the final
+            # epoch there is none and the interrupt would be dropped.  The
+            # epoch-end checkpoint has already made the stop durable.
+            if interrupt is not None and interrupt.requested:
+                raise TrainingInterrupted(signum=interrupt.signum,
+                                          step=state.step, checkpoint=path)
 
     def _train_step(self, model, batch, optimizer, state: _RunState, obs,
                     instrument, registry, guard) -> None:

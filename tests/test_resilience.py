@@ -7,6 +7,7 @@ resume, and NaN-loss rollback with learning-rate backoff.
 """
 
 import json
+import math
 import os
 import signal
 
@@ -82,6 +83,17 @@ class KillAtStep(BaseObserver):
 
     def on_batch_end(self, event):
         if event.step == self.step:
+            os.kill(os.getpid(), signal.SIGTERM)
+
+
+class KillDuringEval(BaseObserver):
+    """SIGTERM landing between the last training step and the epoch end."""
+
+    def __init__(self, epoch):
+        self.epoch = epoch
+
+    def on_eval_end(self, event):
+        if event.epoch == self.epoch:
             os.kill(os.getpid(), signal.SIGTERM)
 
 
@@ -321,6 +333,15 @@ class TestCheckpointStore:
         assert steps == [2, 4, 5]
         assert {p.suffix for p in tmp_path.iterdir()} == {".json", ".npz"}
 
+    def test_retention_drops_superseded_best(self, tmp_path):
+        # When the newest best checkpoint sits inside the keep-last window,
+        # an older best-flagged one is superseded and must age out too.
+        store = CheckpointStore(tmp_path, keep_last=2)
+        for step in (1, 2, 3, 4, 5):
+            store.save(make_ckpt(step), is_best=(step in (2, 4)))
+        steps = [int(p.stem.split("-")[1]) for p in store.manifests()]
+        assert steps == [4, 5]
+
     def test_empty_dir(self, tmp_path):
         ckpt, path, skipped = CheckpointStore(tmp_path).load_latest()
         assert ckpt is None and path is None and skipped == []
@@ -397,6 +418,66 @@ class TestExactResume:
             resumed, data.train, data.validation,
             checkpoint_dir=tmp_path, resume=True)
         assert_same_outcome(control, result, control_model, resumed)
+
+    def test_kill_at_epoch_boundary_resumes_bit_identically(self, tmp_path,
+                                                            data):
+        # With checkpoint_every=None (the fit default) the only checkpoints
+        # are epoch-boundary ones.  Crashing on the first step after the
+        # boundary forces resume to restart the next epoch from that
+        # checkpoint — a stale loader-RNG capture would replay the finished
+        # epoch's permutation and diverge from the uninterrupted run.
+        control_model, control = train_control(data)
+        steps_per_epoch = math.ceil(len(data.train) / 8)
+
+        crashed = create_model("LR", data.schema, seed=1)
+        with pytest.raises(CrashAtStep.Boom):
+            Trainer(TrainConfig(epochs=3, seed=0, batch_size=8)).fit(
+                crashed, data.train, data.validation,
+                observers=[CrashAtStep(steps_per_epoch + 1)],
+                checkpoint_dir=tmp_path)
+        store = CheckpointStore(tmp_path)
+        newest = store.load(store.manifests()[-1])
+        assert newest.epoch == 1 and newest.batches_done == 0
+
+        resumed = create_model("LR", data.schema, seed=1)
+        result = Trainer(TrainConfig(epochs=3, seed=0, batch_size=8)).fit(
+            resumed, data.train, data.validation,
+            checkpoint_dir=tmp_path, resume=True)
+        assert_same_outcome(control, result, control_model, resumed)
+
+    def test_sigterm_during_final_eval_still_interrupts(self, tmp_path, data):
+        control_model, control = train_control(data, epochs=2)
+
+        killed = create_model("LR", data.schema, seed=1)
+        with pytest.raises(TrainingInterrupted) as excinfo:
+            Trainer(TrainConfig(epochs=2, seed=0, batch_size=8)).fit(
+                killed, data.train, data.validation,
+                observers=[KillDuringEval(1)], checkpoint_dir=tmp_path)
+        assert excinfo.value.signum == signal.SIGTERM
+        assert excinfo.value.checkpoint is not None
+
+        resumed = create_model("LR", data.schema, seed=1)
+        result = Trainer(TrainConfig(epochs=2, seed=0, batch_size=8)).fit(
+            resumed, data.train, data.validation,
+            checkpoint_dir=tmp_path, resume=True)
+        assert_same_outcome(control, result, control_model, resumed)
+
+    def test_resume_with_only_corrupt_checkpoints_raises(self, tmp_path,
+                                                         data):
+        model = create_model("LR", data.schema, seed=1)
+        Trainer(TrainConfig(epochs=1, seed=0, batch_size=8)).fit(
+            model, data.train, data.validation, checkpoint_dir=tmp_path)
+        store = CheckpointStore(tmp_path)
+        assert store.manifests()
+        for manifest in store.manifests():
+            flip_payload_byte(manifest)
+
+        fresh = create_model("LR", data.schema, seed=1)
+        with pytest.raises(CheckpointCorruptError,
+                           match="refusing to silently restart"):
+            Trainer(TrainConfig(epochs=1, seed=0, batch_size=8)).fit(
+                fresh, data.train, data.validation,
+                checkpoint_dir=tmp_path, resume=True)
 
     def test_resume_falls_back_past_corrupt_checkpoint(self, tmp_path, data):
         control_model, control = train_control(data)
