@@ -10,10 +10,11 @@ Subpackages
 ``repro.ssl_baselines``  Rule / IRSSL / S3Rec / CL4SRec (Table VI)
 ``repro.training``       trainer, metrics, calibration, experiment runner
 ``repro.resilience``     crash-safe checkpoints, exact resume, anomaly recovery
+``repro.serving``        frozen artifacts, micro-batched scoring, HTTP serving
 ``repro.bench``          benchmark harness regenerating every table and figure
 """
 
 __version__ = "1.0.0"
 
 __all__ = ["nn", "data", "models", "core", "ssl_baselines", "training",
-           "resilience", "bench", "__version__"]
+           "resilience", "serving", "bench", "__version__"]

@@ -12,6 +12,17 @@ Commands
     Train a list of models on one dataset and print a ranked comparison.
 ``inspect-run``
     Summarise a JSONL run trace written via ``--log-jsonl``.
+``export``
+    Train a model and freeze it into a serving artifact directory
+    (weights + digest-pinned manifest).
+``serve``
+    Load an artifact and serve ``POST /score`` with micro-batching, an LRU
+    row cache, and graceful SIGTERM drain.
+``predict``
+    Offline scoring: run rows from a JSON file (or a dataset split) through
+    the same :class:`~repro.serving.InferenceSession` the server uses.
+``bench-serve``
+    Drive the engine at a target QPS and print a latency/throughput report.
 
 ``train`` and ``compare`` accept ``--log-jsonl PATH`` (write a
 schema-versioned JSONL run trace) and ``--verbose`` (throttled console
@@ -21,8 +32,14 @@ progress) — see the Observability section of README.md.
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
+import threading
+from pathlib import Path
 from typing import Sequence
+
+import numpy as np
 
 from .core import MISSConfig, attach_miss
 from .data import DATASET_NAMES, compute_stats, load_dataset, make_config
@@ -32,11 +49,21 @@ from .models import MODEL_NAMES, create_model, supports_miss
 from .obs import (
     ConsoleReporter,
     JsonlTraceWriter,
+    MetricRegistry,
     ObserverList,
     render_summary,
     summarize_trace,
 )
 from .resilience import NumericalAnomalyError, TrainingInterrupted
+from .serving import (
+    ArtifactError,
+    InferenceSession,
+    ScoringEngine,
+    ScoringServer,
+    dataset_rows,
+    export_artifact,
+    run_load,
+)
 from .training import TrainConfig, run_experiment
 
 __all__ = ["main", "build_parser"]
@@ -65,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SSL loss weight α1 = α2 for the MISS variant")
         p.add_argument("--temperature", type=float, default=0.1,
                        help="InfoNCE temperature τ for the MISS variant")
+        p.add_argument("--eval-batch-size", type=int, default=512,
+                       metavar="N",
+                       help="rows per evaluation forward (default 512; "
+                            "metrics are bit-identical for any value)")
         p.add_argument("--log-jsonl", metavar="PATH", default=None,
                        help="write a JSONL run trace to PATH "
                             "(inspect with `repro inspect-run PATH`)")
@@ -107,6 +138,80 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser("inspect-run",
                              help="summarise a JSONL run trace")
     inspect.add_argument("trace", help="path written via --log-jsonl")
+
+    export = sub.add_parser(
+        "export", help="train a model and freeze it as a serving artifact")
+    add_common(export)
+    export.add_argument("--model", choices=MODEL_NAMES, default="DIN")
+    export.add_argument("--miss", action="store_true",
+                        help="attach the MISS SSL component before training")
+    export.add_argument("--out", metavar="DIR", required=True,
+                        help="artifact directory to create (manifest.json + "
+                             "weights.npz)")
+
+    def add_engine_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--max-batch-size", type=int, default=64, metavar="N",
+                       help="micro-batch flush size (default 64)")
+        p.add_argument("--max-wait-ms", type=float, default=2.0, metavar="MS",
+                       help="max time a request waits for batch-mates "
+                            "(default 2ms)")
+        p.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="scoring worker threads (default 1)")
+        p.add_argument("--cache-size", type=int, default=4096, metavar="N",
+                       help="LRU row-cache capacity; 0 disables (default "
+                            "4096)")
+
+    serve = sub.add_parser(
+        "serve", help="serve POST /score from an exported artifact")
+    serve.add_argument("--artifact", metavar="DIR", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port (0 picks a free one; default 8321)")
+    add_engine_options(serve)
+    serve.add_argument("--log-jsonl", metavar="PATH", default=None,
+                       help="write serving events (request/batch/completion) "
+                            "as a JSONL trace")
+    serve.add_argument("--verbose", action="store_true",
+                       help="print per-flush progress lines")
+
+    predict = sub.add_parser(
+        "predict", help="score rows offline through the serving session")
+    predict.add_argument("--artifact", metavar="DIR", required=True)
+    source = predict.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", metavar="FILE",
+                        help="JSON file: {\"rows\": [...]} or a bare list "
+                             "of row objects")
+    source.add_argument("--dataset", choices=DATASET_NAMES,
+                        help="score a simulated dataset split instead of a "
+                             "file")
+    predict.add_argument("--split", choices=["train", "validation", "test"],
+                         default="test")
+    predict.add_argument("--scale", type=float, default=0.4)
+    predict.add_argument("--seed", type=int, default=0)
+    predict.add_argument("--limit", type=int, default=None, metavar="N",
+                         help="score only the first N rows")
+    predict.add_argument("--output", metavar="FILE", default=None,
+                         help="write the JSON result here instead of stdout")
+
+    bench_serve = sub.add_parser(
+        "bench-serve", help="load-test the scoring engine at a target QPS")
+    bench_serve.add_argument("--artifact", metavar="DIR", required=True)
+    bench_serve.add_argument("--dataset", choices=DATASET_NAMES,
+                             default="amazon-cds",
+                             help="source of request rows")
+    bench_serve.add_argument("--split",
+                             choices=["train", "validation", "test"],
+                             default="test")
+    bench_serve.add_argument("--scale", type=float, default=0.4)
+    bench_serve.add_argument("--seed", type=int, default=0)
+    bench_serve.add_argument("--qps", type=float, default=200.0,
+                             help="target request rate (default 200)")
+    bench_serve.add_argument("--requests", type=int, default=1000,
+                             help="total requests to send (default 1000)")
+    bench_serve.add_argument("--repeat-fraction", type=float, default=0.2,
+                             help="fraction of re-sent rows, to exercise "
+                                  "the cache (default 0.2)")
+    add_engine_options(bench_serve)
     return parser
 
 
@@ -145,32 +250,43 @@ def _close_observers(observers: ObserverList) -> None:
             obs.close()
 
 
+def _build_model(model_name: str, args: argparse.Namespace, data,
+                 miss: bool):
+    """(model, display label, MISS config or None) for one training run."""
+    model = create_model(model_name, data.schema, seed=args.seed + 1)
+    if not miss:
+        return model, model_name, None
+    miss_config = MISSConfig(
+        alpha_interest=args.alpha,
+        alpha_feature=args.alpha,
+        temperature=args.temperature,
+        seed=args.seed + 2)
+    return (attach_miss(model, miss_config), f"{model_name}-MISS",
+            miss_config)
+
+
 def _train_one(model_name: str, args: argparse.Namespace, data,
                miss: bool = False, observers: ObserverList | None = None):
-    model = create_model(model_name, data.schema, seed=args.seed + 1)
-    label = model_name
-    if miss:
-        model = attach_miss(model, MISSConfig(
-            alpha_interest=args.alpha,
-            alpha_feature=args.alpha,
-            temperature=args.temperature,
-            seed=args.seed + 2))
-        label = f"{model_name}-MISS"
+    model, label, _ = _build_model(model_name, args, data, miss)
     config = TrainConfig(epochs=args.epochs, learning_rate=args.learning_rate,
-                         weight_decay=1e-5, patience=4, seed=args.seed)
+                         weight_decay=1e-5, patience=4, seed=args.seed,
+                         eval_batch_size=args.eval_batch_size)
     # Resilience flags exist on the `train` subcommand only; `compare` runs
     # several models into one directory-less session.
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
-    return run_experiment(model, data, config, model_name=label,
-                          observers=observers,
-                          checkpoint_dir=checkpoint_dir,
-                          resume=getattr(args, "resume", False),
-                          checkpoint_every=(getattr(args, "checkpoint_every",
-                                                    None)
-                                            if checkpoint_dir else None),
-                          keep_checkpoints=getattr(args, "keep_checkpoints",
-                                                   3),
-                          anomaly_guard=getattr(args, "anomaly_guard", False))
+    result = run_experiment(model, data, config, model_name=label,
+                            observers=observers,
+                            checkpoint_dir=checkpoint_dir,
+                            resume=getattr(args, "resume", False),
+                            checkpoint_every=(getattr(args,
+                                                      "checkpoint_every",
+                                                      None)
+                                              if checkpoint_dir else None),
+                            keep_checkpoints=getattr(args,
+                                                     "keep_checkpoints", 3),
+                            anomaly_guard=getattr(args, "anomaly_guard",
+                                                  False))
+    return result
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -232,10 +348,145 @@ def _cmd_inspect_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export(args: argparse.Namespace) -> int:
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    model, label, miss_config = _build_model(args.model, args, data,
+                                             miss=args.miss)
+    config = TrainConfig(epochs=args.epochs, learning_rate=args.learning_rate,
+                         weight_decay=1e-5, patience=4, seed=args.seed,
+                         eval_batch_size=args.eval_batch_size)
+    observers = _build_observers(args)
+    try:
+        result = run_experiment(model, data, config, model_name=label,
+                                observers=observers)
+    finally:
+        _close_observers(observers)
+    # ``run_experiment`` leaves the best-epoch weights loaded in ``model``;
+    # that is exactly the state worth freezing.
+    path = export_artifact(model, args.out, model_name=args.model,
+                           miss_config=miss_config, metadata={
+                               "label": label,
+                               "dataset": args.dataset,
+                               "scale": args.scale,
+                               "seed": args.seed,
+                               "epochs": args.epochs,
+                               "test_auc": result.test.auc,
+                               "test_logloss": result.test.logloss,
+                           })
+    print(f"{label} on {args.dataset}: test {result.test}")
+    print(f"artifact written to {path}")
+    return 0
+
+
+def _load_session(artifact: str) -> InferenceSession:
+    try:
+        return InferenceSession.load(artifact)
+    except (ArtifactError, OSError) as exc:
+        raise SystemExit(f"cannot load artifact {artifact}: {exc}")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    session = _load_session(args.artifact)
+    observers = _build_observers(args)
+    server = ScoringServer(
+        session, host=args.host, port=args.port,
+        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers, cache_size=args.cache_size,
+        registry=MetricRegistry(), observers=observers.observers)
+    stop = threading.Event()
+
+    def request_stop(signum, frame) -> None:
+        stop.set()
+
+    previous = {sig: signal.signal(sig, request_stop)
+                for sig in (signal.SIGTERM, signal.SIGINT)}
+    server.start()
+    print(f"serving {session.model_name} at {server.url} "
+          f"(batch<= {args.max_batch_size}, wait<= {args.max_wait_ms}ms, "
+          f"workers={args.workers}, cache={args.cache_size})")
+    sys.stdout.flush()
+    try:
+        stop.wait()
+        print("shutdown requested; draining in-flight requests...",
+              file=sys.stderr)
+        server.close(drain=True)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        _close_observers(observers)
+    print("drained; bye", file=sys.stderr)
+    return 0
+
+
+def _read_rows_file(path: str) -> list:
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"predict: cannot read {path}: {exc}")
+    rows = payload.get("rows") if isinstance(payload, dict) else payload
+    if not isinstance(rows, list) or not rows:
+        raise SystemExit(
+            'predict: input must be {"rows": [...]} or a non-empty list')
+    return rows
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    session = _load_session(args.artifact)
+    if args.input:
+        rows = _read_rows_file(args.input)
+        if args.limit is not None:
+            rows = rows[:args.limit]
+        try:
+            logits = session.score_rows(rows)
+        except ValueError as exc:
+            raise SystemExit(f"predict: {exc}")
+    else:
+        data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        split = data.splits[args.split]
+        if args.limit is not None and args.limit < len(split):
+            split = split.subset(np.arange(args.limit))
+        logits = session.score_batch(split.as_single_batch())
+    probs = session.probabilities(logits)
+    payload = json.dumps({
+        "model": session.model_name,
+        "artifact": str(args.artifact),
+        "rows": int(logits.shape[0]),
+        "logits": [float(v) for v in logits],
+        "probabilities": [float(p) for p in probs],
+    }, indent=2)
+    if args.output:
+        Path(args.output).write_text(payload + "\n", encoding="utf-8")
+        print(f"wrote {logits.shape[0]} scores to {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    session = _load_session(args.artifact)
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    rows = dataset_rows(data.splits[args.split])
+    engine = ScoringEngine(
+        session, max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms, num_workers=args.workers,
+        cache_size=args.cache_size)
+    try:
+        report = run_load(engine, rows, target_qps=args.qps,
+                          num_requests=args.requests,
+                          repeat_fraction=args.repeat_fraction,
+                          seed=args.seed)
+    finally:
+        engine.close(drain=True)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
-                "compare": _cmd_compare, "inspect-run": _cmd_inspect_run}
+                "compare": _cmd_compare, "inspect-run": _cmd_inspect_run,
+                "export": _cmd_export, "serve": _cmd_serve,
+                "predict": _cmd_predict, "bench-serve": _cmd_bench_serve}
     return handlers[args.command](args)
 
 

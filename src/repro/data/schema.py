@@ -34,6 +34,16 @@ class FieldSpec:
         if self.vocab_size < 1:
             raise ValueError(f"vocab_size must be >= 1, got {self.vocab_size}")
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (used by exported serving artifacts)."""
+        return {"name": self.name, "kind": self.kind,
+                "vocab_size": int(self.vocab_size)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FieldSpec":
+        return cls(name=payload["name"], kind=payload["kind"],
+                   vocab_size=int(payload["vocab_size"]))
+
 
 @dataclass(frozen=True)
 class DatasetSchema:
@@ -88,6 +98,32 @@ class DatasetSchema:
         """The paper's "#Features": total vocabulary across categorical
         fields (sequential fields share their paired categorical vocab)."""
         return sum(f.vocab_size for f in self.categorical)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; round-trips through :meth:`from_dict`.
+
+        Serving artifacts embed this in their manifest so a scoring process
+        can validate request rows without access to the training pipeline.
+        """
+        return {
+            "name": self.name,
+            "categorical": [f.to_dict() for f in self.categorical],
+            "sequential": [f.to_dict() for f in self.sequential],
+            "max_seq_len": int(self.max_seq_len),
+            "paired_with": [int(i) for i in self.paired_with],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DatasetSchema":
+        return cls(
+            name=payload["name"],
+            categorical=tuple(FieldSpec.from_dict(f)
+                              for f in payload["categorical"]),
+            sequential=tuple(FieldSpec.from_dict(f)
+                             for f in payload["sequential"]),
+            max_seq_len=int(payload["max_seq_len"]),
+            paired_with=tuple(int(i) for i in payload["paired_with"]),
+        )
 
     def categorical_index(self, name: str) -> int:
         for i, spec in enumerate(self.categorical):

@@ -134,7 +134,9 @@ class Module:
             target = own[name]
             if isinstance(target, Buffer):
                 if target.value.shape != array.shape:
-                    raise ValueError(f"shape mismatch for buffer {name}")
+                    raise ValueError(
+                        f"shape mismatch for buffer {name}: model "
+                        f"{target.value.shape} vs state {array.shape}")
                 target.value = np.array(array, dtype=np.float64)
             else:
                 if target.shape != array.shape:

@@ -10,6 +10,10 @@ Writes go through :func:`repro.resilience.atomic.atomic_write_npz` (temp file
 place of a previous good one.  Full training-run state (optimiser, RNG,
 counters) lives in :class:`repro.resilience.CheckpointStore`; this module
 remains the thin weights-only format.
+
+Load failures carry enough context to act on from a serving process: a shape
+mismatch names the offending parameter and both shapes, and a key mismatch
+lists the missing/unexpected names — each prefixed with the checkpoint path.
 """
 
 from __future__ import annotations
@@ -21,7 +25,7 @@ import numpy as np
 from ..resilience.atomic import atomic_write_npz
 from .module import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "read_state"]
 
 _META_KEY = "__repro_checkpoint_version__"
 _VERSION = 1
@@ -43,8 +47,13 @@ def save_checkpoint(module: Module, path: str | Path) -> Path:
     return path
 
 
-def load_checkpoint(module: Module, path: str | Path, strict: bool = True) -> None:
-    """Restore a checkpoint written by :func:`save_checkpoint` into ``module``."""
+def read_state(path: str | Path) -> dict[str, np.ndarray]:
+    """Load the raw named arrays of a checkpoint without touching a module.
+
+    Resolves the same ``.npz`` suffix convention as :func:`load_checkpoint`
+    and strips the version metadata; the serving artifact loader uses this to
+    verify content digests before any weights reach a model.
+    """
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
@@ -52,8 +61,25 @@ def load_checkpoint(module: Module, path: str | Path, strict: bool = True) -> No
         version = int(archive[_META_KEY]) if _META_KEY in archive else 0
         if version > _VERSION:
             raise ValueError(
-                f"checkpoint version {version} is newer than supported "
-                f"({_VERSION}); upgrade the library")
-        state = {name: archive[name] for name in archive.files
-                 if name != _META_KEY}
-    module.load_state_dict(state, strict=strict)
+                f"checkpoint {path}: version {version} is newer than "
+                f"supported ({_VERSION}); upgrade the library")
+        return {name: archive[name] for name in archive.files
+                if name != _META_KEY}
+
+
+def load_checkpoint(module: Module, path: str | Path, strict: bool = True) -> None:
+    """Restore a checkpoint written by :func:`save_checkpoint` into ``module``.
+
+    On mismatch the error names the checkpoint file and the offending
+    parameter (with the model-side and checkpoint-side shapes), so a failed
+    load in a serving context points straight at the drifted weight.
+    """
+    state = read_state(path)
+    try:
+        module.load_state_dict(state, strict=strict)
+    except (KeyError, ValueError) as exc:
+        # KeyError wraps its message in quotes when rendered; re-raise both
+        # kinds as ValueError so the path + parameter detail reads cleanly.
+        raise ValueError(
+            f"checkpoint {path} does not match {type(module).__name__}: "
+            f"{exc.args[0] if exc.args else exc}") from exc

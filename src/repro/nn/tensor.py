@@ -13,14 +13,17 @@ Design notes
   gradient back to the shape of the operand that was broadcast.
 * Graph recording can be suspended with :func:`no_grad` (used during
   evaluation), which makes inference allocation-free apart from numpy.
-* The engine is deliberately eager and single-threaded: the benchmark harness
-  uses batch sizes of at most a few hundred with embedding width 10, where
-  numpy's vectorised kernels dominate the runtime anyway.
+* The engine is deliberately eager: the benchmark harness uses batch sizes
+  of at most a few hundred with embedding width 10, where numpy's vectorised
+  kernels dominate the runtime anyway.  Grad mode is tracked per thread so
+  the serving engine can run ``no_grad`` forwards on worker threads without
+  disturbing training on the main thread.
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -37,28 +40,31 @@ __all__ = [
     "minimum",
 ]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: the serving engine runs no_grad forwards on
+# worker threads concurrently with (potentially grad-recording) work on the
+# main thread, and a process-global flag would let one thread's restore
+# clobber another's state.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph recording.
+    """Context manager that disables graph recording on the calling thread.
 
     Use around evaluation loops so that forward passes do not retain
     references to intermediate arrays.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently recorded for autodiff."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -86,7 +92,7 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents = _parents if self.requires_grad else ()
         self._op = _op
@@ -134,7 +140,7 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"], op: str,
               backward: Callable[[np.ndarray], None]) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires,
                      _parents=tuple(p for p in parents if p.requires_grad), _op=op)
         if requires:

@@ -11,12 +11,15 @@ from .events import (
     AnomalyDetectedEvent,
     BaseObserver,
     BatchEndEvent,
+    BatchFlushedEvent,
     CallbackObserver,
     CheckpointRestoredEvent,
     CheckpointWrittenEvent,
     EpochStartEvent,
     EvalEndEvent,
     ObserverList,
+    RequestCompletedEvent,
+    RequestReceivedEvent,
     RunEndEvent,
     RunObserver,
     RunStartEvent,
@@ -33,6 +36,7 @@ __all__ = [
     "RunEndEvent",
     "CheckpointWrittenEvent", "CheckpointRestoredEvent",
     "AnomalyDetectedEvent",
+    "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
     "Counter", "Gauge", "EMAMeter", "StreamingHistogram", "MetricRegistry",
     "PhaseStat", "PhaseTimings", "collect", "phase", "timed", "active_timings",
     "JsonlTraceWriter", "ConsoleReporter",

@@ -22,6 +22,7 @@ __all__ = [
     "RunEndEvent",
     "CheckpointWrittenEvent", "CheckpointRestoredEvent",
     "AnomalyDetectedEvent",
+    "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
     "RunObserver", "BaseObserver", "ObserverList", "CallbackObserver",
 ]
 
@@ -213,6 +214,65 @@ class AnomalyDetectedEvent:
                 "retries_remaining": int(self.retries_remaining)}
 
 
+@dataclass
+class RequestReceivedEvent:
+    """Emitted when the serving engine accepts a score request (pre-queue)."""
+
+    kind: ClassVar[str] = "request_received"
+
+    request_id: int
+    cached: bool          # True when the LRU cache answered without queueing
+    queue_depth: int
+
+    def payload(self) -> dict[str, Any]:
+        return {"request_id": int(self.request_id), "cached": bool(self.cached),
+                "queue_depth": int(self.queue_depth)}
+
+
+@dataclass
+class BatchFlushedEvent:
+    """Emitted after a micro-batch forward completes.
+
+    ``wait_ms`` is how long the oldest request in the batch sat in the queue
+    before the flush started; ``forward_ms`` is the model forward alone.
+    """
+
+    kind: ClassVar[str] = "batch_flushed"
+
+    batch_size: int
+    queue_depth: int
+    wait_ms: float
+    forward_ms: float
+
+    def payload(self) -> dict[str, Any]:
+        return {"batch_size": int(self.batch_size),
+                "queue_depth": int(self.queue_depth),
+                "wait_ms": float(self.wait_ms),
+                "forward_ms": float(self.forward_ms)}
+
+
+@dataclass
+class RequestCompletedEvent:
+    """Emitted when a request's response is resolved (served or failed)."""
+
+    kind: ClassVar[str] = "request_completed"
+
+    request_id: int
+    latency_ms: float
+    cached: bool
+    batch_size: int       # 0 for cache hits (no forward ran)
+    error: str | None = None
+
+    def payload(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"request_id": int(self.request_id),
+                               "latency_ms": float(self.latency_ms),
+                               "cached": bool(self.cached),
+                               "batch_size": int(self.batch_size)}
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
 @runtime_checkable
 class RunObserver(Protocol):
     """The observer protocol; implement any subset of the five hooks."""
@@ -249,6 +309,15 @@ class BaseObserver:
         pass
 
     def on_anomaly_detected(self, event: AnomalyDetectedEvent) -> None:
+        pass
+
+    def on_request_received(self, event: RequestReceivedEvent) -> None:
+        pass
+
+    def on_batch_flushed(self, event: BatchFlushedEvent) -> None:
+        pass
+
+    def on_request_completed(self, event: RequestCompletedEvent) -> None:
         pass
 
 
@@ -333,5 +402,25 @@ class ObserverList(BaseObserver):
     def on_anomaly_detected(self, event: AnomalyDetectedEvent) -> None:
         for obs in self.observers:
             hook = getattr(obs, "on_anomaly_detected", None)
+            if hook is not None:
+                hook(event)
+
+    # Serving hooks (additive, schema v1): same getattr fan-out so training
+    # observers that predate the serving subsystem keep working unchanged.
+    def on_request_received(self, event: RequestReceivedEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_request_received", None)
+            if hook is not None:
+                hook(event)
+
+    def on_batch_flushed(self, event: BatchFlushedEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_batch_flushed", None)
+            if hook is not None:
+                hook(event)
+
+    def on_request_completed(self, event: RequestCompletedEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_request_completed", None)
             if hook is not None:
                 hook(event)

@@ -13,10 +13,13 @@ from .events import (
     AnomalyDetectedEvent,
     BaseObserver,
     BatchEndEvent,
+    BatchFlushedEvent,
     CheckpointRestoredEvent,
     CheckpointWrittenEvent,
     EpochStartEvent,
     EvalEndEvent,
+    RequestCompletedEvent,
+    RequestReceivedEvent,
     RunEndEvent,
     RunStartEvent,
 )
@@ -86,6 +89,15 @@ class JsonlTraceWriter(BaseObserver):
         self._write(event.kind, event.payload())
 
     def on_anomaly_detected(self, event: AnomalyDetectedEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_request_received(self, event: RequestReceivedEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_batch_flushed(self, event: BatchFlushedEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_request_completed(self, event: RequestCompletedEvent) -> None:
         self._write(event.kind, event.payload())
 
     def close(self) -> None:
@@ -158,6 +170,12 @@ class ConsoleReporter(BaseObserver):
         self._print(f"[obs] ANOMALY {event.anomaly} @ step {event.step}: "
                     f"value={event.value!r} lr={event.lr:g} "
                     f"retries left={event.retries_remaining}")
+
+    def on_batch_flushed(self, event: BatchFlushedEvent) -> None:
+        self._print(f"[obs] batch flushed: {event.batch_size} request(s), "
+                    f"waited {event.wait_ms:.1f}ms, "
+                    f"forward {event.forward_ms:.1f}ms, "
+                    f"queue depth {event.queue_depth}")
 
     def on_run_end(self, event: RunEndEvent) -> None:
         self._print(f"[obs] run end: best epoch {event.best_epoch} "

@@ -1,0 +1,40 @@
+"""Online inference: frozen artifacts, micro-batched scoring, HTTP serving.
+
+The subsystem turns a trained model into production traffic-ready scores in
+four layers (see DESIGN.md §"Serving"):
+
+* :mod:`~repro.serving.artifact` — ``export_artifact`` freezes weights +
+  manifest (schema, config, per-array SHA-256) to a directory;
+  ``load_artifact`` verifies and rebuilds.
+* :mod:`~repro.serving.session` — :class:`InferenceSession` scores rows
+  strictly in eval mode under ``no_grad`` through the deterministic blocked
+  forward, bit-identical to offline ``training.evaluate``.
+* :mod:`~repro.serving.batcher` — :class:`ScoringEngine` coalesces
+  single-row requests into micro-batches (``max_batch_size`` /
+  ``max_wait_ms``) with an LRU row cache and N worker threads.
+* :mod:`~repro.serving.server` / :mod:`~repro.serving.loadgen` —
+  :class:`ScoringServer` exposes ``POST /score`` + health/metrics with
+  graceful SIGTERM drain; ``run_load`` benchmarks the engine at a target
+  QPS (``repro bench-serve``).
+"""
+
+from .artifact import (
+    ArtifactError,
+    export_artifact,
+    load_artifact,
+    load_manifest,
+)
+from .batcher import EngineClosedError, LRUCache, ScoringEngine, row_key
+from .forward import PARITY_BLOCK, forward_logits, forward_probabilities
+from .loadgen import build_request_stream, dataset_rows, run_load
+from .server import ScoringServer
+from .session import InferenceSession, rows_to_batch
+
+__all__ = [
+    "ArtifactError", "export_artifact", "load_artifact", "load_manifest",
+    "EngineClosedError", "LRUCache", "ScoringEngine", "row_key",
+    "PARITY_BLOCK", "forward_logits", "forward_probabilities",
+    "build_request_stream", "dataset_rows", "run_load",
+    "ScoringServer",
+    "InferenceSession", "rows_to_batch",
+]

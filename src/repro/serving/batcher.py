@@ -1,0 +1,338 @@
+"""Dynamic micro-batching: coalesce single-row requests into model forwards.
+
+Online traffic arrives one row at a time, but the numpy substrate amortises
+per-call overhead across rows, so the engine queues incoming requests and
+flushes them as one forward under a classic dual-trigger policy: a batch goes
+out when it reaches ``max_batch_size`` rows **or** when its oldest request
+has waited ``max_wait_ms`` — whichever comes first.  ``num_workers`` threads
+flush concurrently.
+
+An LRU cache in front of the queue short-circuits repeated feature rows:
+the key is a SHA-256 over the row's exact byte content (categorical ids,
+sequence ids, and mask — everything the logit depends on), so a cache hit is
+guaranteed to return the same logit the forward would have produced.  Thanks
+to the deterministic blocked forward (:mod:`repro.serving.forward`), cached
+and freshly-computed scores are bit-identical, so cache state can never
+change a response.
+
+Every request resolves exactly once: with the logit, or with the error that
+prevented it (engine closed without drain, model failure).  ``close`` with
+``drain=True`` — the SIGTERM path — stops accepting new work, flushes the
+queue, and joins the workers; nothing in flight is dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..data.batching import Batch
+from ..obs import (
+    BatchFlushedEvent,
+    MetricRegistry,
+    ObserverList,
+    RequestCompletedEvent,
+    RequestReceivedEvent,
+)
+
+__all__ = ["EngineClosedError", "ScoringEngine", "LRUCache", "row_key"]
+
+
+class EngineClosedError(RuntimeError):
+    """Raised when submitting to (or aborted by) a closed engine."""
+
+
+def row_key(categorical: np.ndarray, sequences: np.ndarray,
+            mask: np.ndarray) -> bytes:
+    """Cache key: digest of the full feature row's canonical bytes.
+
+    Hashing everything the model reads (not just the history) makes a hit
+    sound by construction — two requests share a key only if their logits
+    are provably identical.
+    """
+    h = hashlib.sha256()
+    for array, dtype in ((categorical, np.int64), (sequences, np.int64),
+                         (mask, np.bool_)):
+        canonical = np.ascontiguousarray(array, dtype=dtype)
+        h.update(str(canonical.shape).encode())
+        h.update(canonical.tobytes())
+    return h.digest()
+
+
+class LRUCache:
+    """Thread-safe bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[bytes, float] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: bytes) -> float | None:
+        with self._lock:
+            if key not in self._entries:
+                return None
+            self._entries.move_to_end(key)
+            return self._entries[key]
+
+    def put(self, key: bytes, value: float) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _Request:
+    __slots__ = ("request_id", "categorical", "sequences", "mask", "key",
+                 "future", "enqueued_at")
+
+    def __init__(self, request_id: int, categorical, sequences, mask,
+                 key: bytes | None):
+        self.request_id = request_id
+        self.categorical = categorical
+        self.sequences = sequences
+        self.mask = mask
+        self.key = key
+        self.future: Future = Future()
+        self.enqueued_at = time.monotonic()
+
+
+class ScoringEngine:
+    """Micro-batched scoring over an :class:`InferenceSession`-like scorer.
+
+    ``session`` needs a single method, ``score_batch(Batch) -> np.ndarray``
+    of per-row logits; tests substitute lightweight stubs.  Telemetry flows
+    into an optional :class:`MetricRegistry` (latency / batch-size /
+    queue-depth histograms, request and cache counters) and the optional
+    observers receive the three serving events.
+    """
+
+    def __init__(self, session, *, max_batch_size: int = 64,
+                 max_wait_ms: float = 2.0, num_workers: int = 1,
+                 cache_size: int = 4096,
+                 registry: MetricRegistry | None = None,
+                 observers: Iterable | None = None):
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.session = session
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self.cache = LRUCache(cache_size)
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._observers = ObserverList.build(list(observers or []))
+        self._obs_lock = threading.Lock()
+        self._queue: deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._closing = False
+        self._next_id = 0
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"scoring-worker-{i}", daemon=True)
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def submit_row(self, categorical: np.ndarray, sequences: np.ndarray,
+                   mask: np.ndarray) -> Future:
+        """Queue one feature row; the future resolves to its logit (float)."""
+        key = (row_key(categorical, sequences, mask)
+               if self.cache.capacity else None)
+        with self._cond:
+            if self._closing:
+                raise EngineClosedError("scoring engine is shut down")
+            self._next_id += 1
+            request = _Request(self._next_id, categorical, sequences, mask,
+                               key)
+            cached = self.cache.get(key) if key is not None else None
+            depth = len(self._queue)
+            if cached is None:
+                self._queue.append(request)
+                depth += 1
+                self._cond.notify()
+        self.registry.counter("serve.requests").inc()
+        self._emit("on_request_received", RequestReceivedEvent(
+            request_id=request.request_id, cached=cached is not None,
+            queue_depth=depth))
+        if cached is not None:
+            self.registry.counter("serve.cache.hits").inc()
+            latency_ms = (time.monotonic() - request.enqueued_at) * 1000.0
+            self.registry.histogram("serve.latency_ms").record(latency_ms)
+            request.future.set_result(cached)
+            self._emit("on_request_completed", RequestCompletedEvent(
+                request_id=request.request_id, latency_ms=latency_ms,
+                cached=True, batch_size=0))
+        else:
+            self.registry.counter("serve.cache.misses").inc()
+        return request.future
+
+    def score(self, rows: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+              timeout: float | None = None) -> np.ndarray:
+        """Blocking convenience: submit rows, wait, return logits in order."""
+        futures = [self.submit_row(*row) for row in rows]
+        return np.array([f.result(timeout=timeout) for f in futures],
+                        dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            self._flush(batch)
+
+    def _collect(self) -> list[_Request] | None:
+        """Block until a batch is due under the size/wait policy."""
+        with self._cond:
+            while not self._queue:
+                if self._closing:
+                    return None
+                self._cond.wait()
+            first = self._queue.popleft()
+            batch = [first]
+            deadline = first.enqueued_at + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.monotonic()
+                # Draining: ship what we have, don't wait out the window.
+                if self._closing or remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return batch
+
+    def _flush(self, batch: list[_Request]) -> None:
+        now = time.monotonic()
+        wait_ms = (now - batch[0].enqueued_at) * 1000.0
+        with self._cond:
+            depth = len(self._queue)
+        try:
+            rows = Batch(
+                categorical=np.stack([r.categorical for r in batch]),
+                sequences=np.stack([r.sequences for r in batch]),
+                mask=np.stack([r.mask for r in batch]),
+                labels=np.zeros(len(batch), dtype=np.float64),
+            )
+            forward_start = time.monotonic()
+            logits = np.asarray(self.session.score_batch(rows),
+                                dtype=np.float64)
+            forward_ms = (time.monotonic() - forward_start) * 1000.0
+            if logits.shape != (len(batch),):
+                raise RuntimeError(
+                    f"scorer returned shape {logits.shape} for a batch of "
+                    f"{len(batch)} rows")
+        except BaseException as exc:  # resolve every request, then continue
+            for request in batch:
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(exc)
+                self._emit("on_request_completed", RequestCompletedEvent(
+                    request_id=request.request_id,
+                    latency_ms=(time.monotonic() - request.enqueued_at)
+                    * 1000.0,
+                    cached=False, batch_size=len(batch), error=repr(exc)))
+            self.registry.counter("serve.errors").inc(len(batch))
+            return
+        self.registry.counter("serve.batches").inc()
+        self.registry.histogram("serve.batch_size").record(len(batch))
+        self.registry.histogram("serve.queue_depth").record(depth)
+        self.registry.histogram("serve.forward_ms").record(forward_ms)
+        self._emit("on_batch_flushed", BatchFlushedEvent(
+            batch_size=len(batch), queue_depth=depth, wait_ms=wait_ms,
+            forward_ms=forward_ms))
+        done = time.monotonic()
+        for request, logit in zip(batch, logits):
+            value = float(logit)
+            if request.key is not None:
+                self.cache.put(request.key, value)
+            latency_ms = (done - request.enqueued_at) * 1000.0
+            self.registry.histogram("serve.latency_ms").record(latency_ms)
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_result(value)
+            self._emit("on_request_completed", RequestCompletedEvent(
+                request_id=request.request_id, latency_ms=latency_ms,
+                cached=False, batch_size=len(batch)))
+
+    # ------------------------------------------------------------------
+    # Lifecycle and stats
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the engine.  Idempotent.
+
+        ``drain=True`` (the graceful path) lets the workers flush everything
+        already accepted before they exit; ``drain=False`` fails pending
+        requests with :class:`EngineClosedError` immediately.
+        """
+        with self._cond:
+            self._closing = True
+            abandoned = []
+            if not drain:
+                abandoned = list(self._queue)
+                self._queue.clear()
+            self._cond.notify_all()
+        for request in abandoned:
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    EngineClosedError("engine closed before this request "
+                                      "was scored"))
+        for worker in self._workers:
+            worker.join(timeout)
+
+    @property
+    def closed(self) -> bool:
+        return self._closing
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def stats(self) -> dict:
+        """JSON-safe operational snapshot (cache + registry)."""
+        snapshot = self.registry.snapshot()
+        hits = snapshot.get("serve.cache.hits", {}).get("value", 0.0) or 0.0
+        misses = (snapshot.get("serve.cache.misses", {}).get("value", 0.0)
+                  or 0.0)
+        total = hits + misses
+        return {
+            "cache": {"size": len(self.cache),
+                      "capacity": self.cache.capacity,
+                      "hits": int(hits), "misses": int(misses),
+                      "hit_rate": (hits / total) if total else None},
+            "queue_depth": self.queue_depth(),
+            "metrics": snapshot,
+        }
+
+    def _emit(self, hook: str, event) -> None:
+        if not self._observers:
+            return
+        with self._obs_lock:
+            getattr(self._observers, hook)(event)
+
+    def __enter__(self) -> "ScoringEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)

@@ -1,0 +1,129 @@
+"""Load generator: drive the scoring engine at a target QPS and measure it.
+
+Open-loop generation — request ``i`` is dispatched at ``start + i/qps``
+regardless of how fast earlier requests complete — so a saturated engine
+shows up as queue growth and latency inflation rather than as a silently
+reduced request rate (the closed-loop failure mode that makes overloaded
+systems look healthy).
+
+The report is plain JSON: exact p50/p95/p99 latency over every request (not
+a sketch), achieved vs target QPS, the engine's batch-size distribution, and
+the cache hit rate.  ``repro bench-serve`` prints it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..data.batching import CTRDataset
+from .batcher import ScoringEngine
+
+__all__ = ["dataset_rows", "build_request_stream", "run_load"]
+
+Row = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+
+def dataset_rows(dataset: CTRDataset, limit: int | None = None) -> list[Row]:
+    """Feature rows of a split in (categorical, sequences, mask) form."""
+    n = len(dataset)
+    if limit is not None:
+        n = min(n, limit)
+    return [(dataset.categorical[i], dataset.sequences[i], dataset.mask[i])
+            for i in range(n)]
+
+
+def build_request_stream(num_rows: int, num_requests: int,
+                         repeat_fraction: float = 0.0,
+                         seed: int = 0) -> list[int]:
+    """Row index per request; repeats exercise the engine's LRU cache.
+
+    Each request is, with probability ``repeat_fraction``, a re-send of a
+    previously requested row (uniform over the history); otherwise the next
+    row in a round-robin over the pool.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    if not 0.0 <= repeat_fraction < 1.0:
+        raise ValueError("repeat_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    stream: list[int] = []
+    fresh = 0
+    for _ in range(num_requests):
+        if stream and rng.random() < repeat_fraction:
+            stream.append(stream[int(rng.integers(0, len(stream)))])
+        else:
+            stream.append(fresh % num_rows)
+            fresh += 1
+    return stream
+
+
+def run_load(engine: ScoringEngine, rows: Sequence[Row], *,
+             target_qps: float, num_requests: int,
+             repeat_fraction: float = 0.0, seed: int = 0,
+             timeout_s: float = 120.0) -> dict:
+    """Fire ``num_requests`` at ``target_qps`` and return the report dict."""
+    if target_qps <= 0:
+        raise ValueError("target_qps must be positive")
+    stream = build_request_stream(len(rows), num_requests,
+                                  repeat_fraction=repeat_fraction, seed=seed)
+    latencies = np.full(num_requests, np.nan)
+    completions = np.full(num_requests, np.nan)
+    futures = []
+    interval = 1.0 / target_qps
+    start = time.monotonic()
+    for i, row_index in enumerate(stream):
+        due = start + i * interval
+        delay = due - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        sent = time.monotonic()
+        future = engine.submit_row(*rows[row_index])
+
+        def on_done(f, i=i, sent=sent):
+            now = time.monotonic()
+            latencies[i] = (now - sent) * 1000.0
+            completions[i] = now
+
+        future.add_done_callback(on_done)
+        futures.append(future)
+    errors = 0
+    for future in futures:
+        try:
+            future.result(timeout=timeout_s)
+        except Exception:
+            errors += 1
+    done = latencies[np.isfinite(latencies)]
+    if done.size == 0:
+        raise RuntimeError(f"no request completed within {timeout_s}s")
+    wall_s = max(float(np.nanmax(completions)) - start, 1e-9)
+    stats = engine.stats()
+    batch_hist = stats["metrics"].get("serve.batch_size", {})
+    report = {
+        "requests": num_requests,
+        "completed": int(done.size),
+        "errors": errors,
+        "target_qps": float(target_qps),
+        "achieved_qps": float(done.size / wall_s),
+        "wall_time_s": float(wall_s),
+        "repeat_fraction": float(repeat_fraction),
+        "latency_ms": {
+            "mean": float(done.mean()),
+            "p50": float(np.quantile(done, 0.50)),
+            "p95": float(np.quantile(done, 0.95)),
+            "p99": float(np.quantile(done, 0.99)),
+            "max": float(done.max()),
+        },
+        "batch_size": {
+            "mean": batch_hist.get("mean"),
+            "p50": batch_hist.get("p50"),
+            "max": batch_hist.get("max"),
+            "batches": batch_hist.get("count", 0),
+        },
+        "cache": stats["cache"],
+    }
+    return report

@@ -1,0 +1,188 @@
+"""Stdlib HTTP scoring endpoint over the micro-batched engine.
+
+Three routes:
+
+``POST /score``
+    Body ``{"rows": [{"categorical": [...], "sequences": [[...]], "mask":
+    [...]}]}`` (or a single row object).  Rows are validated against the
+    artifact's schema, fan out into the micro-batcher, and come back as
+    ``{"logits": [...], "probabilities": [...]}`` in request order.
+``GET /healthz``
+    Liveness plus the artifact identity block.
+``GET /metrics``
+    JSON snapshot of the engine's metric registry, cache stats, and uptime.
+
+Shutdown is graceful by construction: :meth:`ScoringServer.close` stops the
+accept loop, waits for in-flight handler threads (the HTTP server is
+configured to block on close), and drains the engine queue so every accepted
+request is answered before the process exits.  The ``repro serve`` command
+wires SIGTERM/SIGINT to exactly that path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..obs import MetricRegistry
+from .batcher import EngineClosedError, ScoringEngine
+from .session import InferenceSession, rows_to_batch
+
+__all__ = ["ScoringServer"]
+
+_MAX_BODY_BYTES = 32 * 1024 * 1024
+
+
+class _GracefulHTTPServer(ThreadingHTTPServer):
+    # Wait for in-flight handler threads at server_close so a drain never
+    # abandons a request that already reached a handler.
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+
+class ScoringServer:
+    """Own an engine plus an HTTP front end; start/close from any thread."""
+
+    def __init__(self, session: InferenceSession, *, host: str = "127.0.0.1",
+                 port: int = 0, max_batch_size: int = 64,
+                 max_wait_ms: float = 2.0, num_workers: int = 1,
+                 cache_size: int = 4096,
+                 registry: MetricRegistry | None = None,
+                 observers=None, request_timeout_s: float = 30.0):
+        self.session = session
+        self.engine = ScoringEngine(
+            session, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
+            num_workers=num_workers, cache_size=cache_size,
+            registry=registry, observers=observers)
+        self.request_timeout_s = request_timeout_s
+        self._started_at = time.monotonic()
+        self._httpd = _GracefulHTTPServer((host, port), _make_handler(self))
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ScoringServer":
+        """Run the accept loop in a background thread; returns self."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="scoring-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting, finish in-flight handlers, drain the engine."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()          # stop the accept loop
+        self._httpd.server_close()      # waits for handler threads
+        self.engine.close(drain=drain)  # then flush whatever they queued
+        if self._thread is not None:
+            self._thread.join()
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self._started_at
+
+    def __enter__(self) -> "ScoringServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)
+
+
+def _make_handler(server: ScoringServer):
+    session = server.session
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # The serving engine has its own telemetry; per-request stderr lines
+        # from the stdlib handler would just interleave across threads.
+        def log_message(self, format: str, *args) -> None:
+            pass
+
+        def _reply(self, status: int, payload: dict[str, Any]) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:
+            if self.path == "/healthz":
+                self._reply(200, {"status": "ok", **session.describe()})
+            elif self.path == "/metrics":
+                stats = server.engine.stats()
+                stats["uptime_s"] = server.uptime_s()
+                self._reply(200, stats)
+            else:
+                self._reply(404, {"error": f"no route {self.path}"})
+
+        def do_POST(self) -> None:
+            if self.path != "/score":
+                self._reply(404, {"error": f"no route {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                self._reply(411, {"error": "invalid Content-Length"})
+                return
+            if length <= 0:
+                self._reply(411, {"error": "Content-Length required"})
+                return
+            if length > _MAX_BODY_BYTES:
+                self._reply(413, {"error": "request body too large"})
+                return
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                self._reply(400, {"error": f"invalid JSON: {exc}"})
+                return
+            rows = payload.get("rows") if isinstance(payload, dict) else None
+            if rows is None and isinstance(payload, dict):
+                rows = [payload]        # single-row shorthand
+            if not isinstance(rows, list) or not rows:
+                self._reply(400, {"error": "body must be a row object or "
+                                           '{"rows": [...]} with >= 1 row'})
+                return
+            try:
+                batch = rows_to_batch(session.schema, rows)
+            except ValueError as exc:
+                self._reply(400, {"error": str(exc)})
+                return
+            try:
+                futures = [
+                    server.engine.submit_row(batch.categorical[i],
+                                             batch.sequences[i],
+                                             batch.mask[i])
+                    for i in range(len(batch))
+                ]
+                logits = [f.result(timeout=server.request_timeout_s)
+                          for f in futures]
+            except EngineClosedError:
+                self._reply(503, {"error": "server is shutting down"})
+                return
+            except (TimeoutError, FutureTimeoutError):
+                # concurrent.futures.TimeoutError only aliases the builtin
+                # from Python 3.11; catch both for the 3.10 CI lane.
+                self._reply(504, {"error": "scoring timed out"})
+                return
+            except Exception as exc:  # model failure surfaced via futures
+                self._reply(500, {"error": f"scoring failed: {exc!r}"})
+                return
+            probs = session.probabilities(logits)
+            self._reply(200, {"model": session.model_name,
+                              "logits": [float(v) for v in logits],
+                              "probabilities": [float(p) for p in probs]})
+
+    return Handler

@@ -14,8 +14,8 @@ import numpy as np
 from ..data.batching import CTRDataset, DataLoader
 from ..data.processing import ProcessedData
 from ..models.base import CTRModel
-from ..nn import no_grad
 from ..obs import EvalEndEvent, ObserverList
+from ..serving.forward import forward_logits
 from .calibration import PlattScaler
 from .metrics import EvalResult, auc_score, logloss_score
 from .trainer import TrainConfig, Trainer, TrainResult
@@ -45,7 +45,13 @@ class ExperimentResult:
 
 def predict_logits_array(model: CTRModel, dataset: CTRDataset,
                          batch_size: int = 512) -> np.ndarray:
-    """Raw logits for every sample of ``dataset`` in eval mode."""
+    """Raw logits for every sample of ``dataset`` in eval mode.
+
+    Computed through the deterministic blocked forward shared with the
+    serving subsystem, so the result is bit-identical for any
+    ``batch_size`` — and to an :class:`~repro.serving.InferenceSession`
+    scoring the same rows online.
+    """
     if len(dataset) == 0:
         raise ValueError(
             f"cannot predict on an empty split of dataset "
@@ -53,21 +59,20 @@ def predict_logits_array(model: CTRModel, dataset: CTRDataset,
     was_training = model.training
     model.eval()
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
-    with no_grad():
-        logits = np.concatenate(
-            [model.predict_logits(batch).data for batch in loader])
+    logits = np.concatenate([forward_logits(model, batch)
+                             for batch in loader])
     if was_training:
         model.train()
     return logits
 
 
-def calibrated_eval(model: CTRModel, data: ProcessedData
-                    ) -> tuple[EvalResult, EvalResult]:
+def calibrated_eval(model: CTRModel, data: ProcessedData,
+                    batch_size: int = 512) -> tuple[EvalResult, EvalResult]:
     """(validation, test) metrics after Platt calibration on validation."""
-    val_logits = predict_logits_array(model, data.validation)
+    val_logits = predict_logits_array(model, data.validation, batch_size)
     scaler = PlattScaler.fit(val_logits, data.validation.labels)
     val_probs = scaler.transform(val_logits)
-    test_logits = predict_logits_array(model, data.test)
+    test_logits = predict_logits_array(model, data.test, batch_size)
     test_probs = scaler.transform(test_logits)
     validation = EvalResult(auc=auc_score(data.validation.labels, val_probs),
                             logloss=logloss_score(data.validation.labels, val_probs))
@@ -105,7 +110,8 @@ def run_experiment(model: CTRModel, data: ProcessedData, config: TrainConfig,
                                        checkpoint_every=checkpoint_every,
                                        keep_checkpoints=keep_checkpoints,
                                        anomaly_guard=anomaly_guard)
-    validation, test = calibrated_eval(model, data)
+    validation, test = calibrated_eval(model, data,
+                                       batch_size=config.eval_batch_size)
     if obs:
         obs.on_eval_end(EvalEndEvent(
             epoch=train_result.best_epoch, split="test",

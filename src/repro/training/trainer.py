@@ -39,7 +39,8 @@ import numpy as np
 
 from ..data.batching import Batch, CTRDataset, DataLoader
 from ..models.base import CTRModel
-from ..nn import Adam, clip_grad_norm, no_grad
+from ..nn import Adam, clip_grad_norm
+from ..serving.forward import forward_probabilities
 from ..obs import (
     AnomalyDetectedEvent,
     BatchEndEvent,
@@ -82,6 +83,7 @@ class TrainConfig:
 
     epochs: int = 10
     batch_size: int = 128
+    eval_batch_size: int = 512  # memory granularity of eval forwards
     learning_rate: float = 1e-2
     weight_decay: float = 1e-5
     patience: int = 3          # early stopping on validation AUC
@@ -96,6 +98,8 @@ class TrainConfig:
             raise ValueError("patience must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.eval_batch_size < 1:
+            raise ValueError("eval_batch_size must be >= 1")
         if not math.isfinite(self.learning_rate) or self.learning_rate <= 0:
             raise ValueError(
                 f"learning_rate must be finite and positive, "
@@ -124,7 +128,13 @@ class TrainResult:
 
 
 def evaluate(model: CTRModel, dataset: CTRDataset, batch_size: int = 512) -> EvalResult:
-    """AUC/Logloss of ``model`` on ``dataset`` in eval mode."""
+    """AUC/Logloss of ``model`` on ``dataset`` in eval mode.
+
+    ``batch_size`` only bounds how many rows are materialised at once; the
+    actual forward runs through the fixed-block deterministic path shared
+    with the serving subsystem, so metrics are bit-identical for any choice
+    of ``batch_size`` (and to online scores of the same rows).
+    """
     if len(dataset) == 0:
         raise ValueError(
             f"cannot evaluate on an empty split of dataset "
@@ -132,8 +142,8 @@ def evaluate(model: CTRModel, dataset: CTRDataset, batch_size: int = 512) -> Eva
     was_training = model.training
     model.eval()
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
-    with no_grad():
-        probs = np.concatenate([model.predict_proba(batch) for batch in loader])
+    probs = np.concatenate([forward_probabilities(model, batch)
+                            for batch in loader])
     if was_training:
         model.train()
     return EvalResult(auc=auc_score(dataset.labels, probs),
@@ -320,7 +330,8 @@ class Trainer:
                             signum=interrupt.signum, step=state.step,
                             checkpoint=path)
                 with phase("train.eval"):
-                    result = evaluate(model, validation)
+                    result = evaluate(model, validation,
+                                      batch_size=cfg.eval_batch_size)
             state.losses.append(state.epoch_loss / max(state.num_batches, 1))
             state.history.append(result)
             if instrument:

@@ -206,13 +206,13 @@ class TestNaNValidation:
         from repro.nn import is_grad_enabled
         model = create_model("LR", data.schema, seed=1)
         flags = []
-        original = model.predict_proba
+        original = model.predict_logits
 
         def probed(batch):
             flags.append(is_grad_enabled())
             return original(batch)
 
-        model.predict_proba = probed
+        model.predict_logits = probed
         evaluate(model, data.validation)
         assert flags and not any(flags)
 
