@@ -10,6 +10,7 @@ from .configs import (
     bench_seeds,
     bench_train_config,
 )
+from .micro import KERNEL_NAMES, render_report, run_micro
 from .runner import (
     CellResult,
     baseline_factory,
@@ -24,4 +25,5 @@ __all__ = [
     "bench_dataset", "bench_miss_config", "bench_seeds", "bench_train_config",
     "CellResult", "run_cell", "baseline_factory", "miss_model_factory",
     "ssl_factory", "render_metric_table", "render_series",
+    "KERNEL_NAMES", "run_micro", "render_report",
 ]

@@ -23,6 +23,13 @@ Commands
     the same :class:`~repro.serving.InferenceSession` the server uses.
 ``bench-serve``
     Drive the engine at a target QPS and print a latency/throughput report.
+``bench-ops``
+    Microbenchmark the fused array kernels against the reference backend and
+    write ``BENCH_ops.json``.
+
+Every command accepts ``--backend {reference,fused}`` to pick the array-math
+backend (default: the ``REPRO_BACKEND`` environment variable, else
+``reference``).
 
 ``train`` and ``compare`` accept ``--log-jsonl PATH`` (write a
 schema-versioned JSONL run trace) and ``--verbose`` (throttled console
@@ -41,6 +48,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .bench.micro import render_report, run_micro
 from .core import MISSConfig, attach_miss
 from .data import DATASET_NAMES, compute_stats, load_dataset, make_config
 from .data.analysis import diagnose_world
@@ -54,6 +62,7 @@ from .obs import (
     render_summary,
     summarize_trace,
 )
+from .nn.backend import BACKEND_NAMES, set_backend
 from .resilience import NumericalAnomalyError, TrainingInterrupted
 from .serving import (
     ArtifactError,
@@ -76,12 +85,18 @@ def build_parser() -> argparse.ArgumentParser:
                     "self-supervised learning for CTR prediction.")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                       help="array-math backend (default: $REPRO_BACKEND, "
+                            "else 'reference')")
+
     datasets = sub.add_parser("datasets", help="describe the simulated worlds")
     datasets.add_argument("--scale", type=float, default=0.3,
                           help="world size multiplier (default 0.3)")
     datasets.add_argument("--seed", type=int, default=0)
 
     def add_common(p: argparse.ArgumentParser) -> None:
+        add_backend(p)
         p.add_argument("--dataset", choices=DATASET_NAMES,
                        default="amazon-cds")
         p.add_argument("--scale", type=float, default=0.4)
@@ -163,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="serve POST /score from an exported artifact")
+    add_backend(serve)
     serve.add_argument("--artifact", metavar="DIR", required=True)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8321,
@@ -176,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     predict = sub.add_parser(
         "predict", help="score rows offline through the serving session")
+    add_backend(predict)
     predict.add_argument("--artifact", metavar="DIR", required=True)
     source = predict.add_mutually_exclusive_group(required=True)
     source.add_argument("--input", metavar="FILE",
@@ -195,6 +212,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_serve = sub.add_parser(
         "bench-serve", help="load-test the scoring engine at a target QPS")
+    add_backend(bench_serve)
     bench_serve.add_argument("--artifact", metavar="DIR", required=True)
     bench_serve.add_argument("--dataset", choices=DATASET_NAMES,
                              default="amazon-cds",
@@ -212,6 +230,16 @@ def build_parser() -> argparse.ArgumentParser:
                              help="fraction of re-sent rows, to exercise "
                                   "the cache (default 0.2)")
     add_engine_options(bench_serve)
+
+    bench_ops = sub.add_parser(
+        "bench-ops",
+        help="microbenchmark fused kernels vs. the reference backend")
+    bench_ops.add_argument("--repeats", type=int, default=20, metavar="N",
+                           help="timing repetitions per kernel/backend "
+                                "(best-of-N; default 20)")
+    bench_ops.add_argument("--seed", type=int, default=0)
+    bench_ops.add_argument("--out", metavar="FILE", default="BENCH_ops.json",
+                           help="JSON report path (default BENCH_ops.json)")
     return parser
 
 
@@ -481,12 +509,23 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_ops(args: argparse.Namespace) -> int:
+    payload = run_micro(repeats=args.repeats, seed=args.seed,
+                        out_path=args.out)
+    print(render_report(payload))
+    print(f"report written to {args.out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        set_backend(args.backend)
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
                 "compare": _cmd_compare, "inspect-run": _cmd_inspect_run,
                 "export": _cmd_export, "serve": _cmd_serve,
-                "predict": _cmd_predict, "bench-serve": _cmd_bench_serve}
+                "predict": _cmd_predict, "bench-serve": _cmd_bench_serve,
+                "bench-ops": _cmd_bench_ops}
     return handlers[args.command](args)
 
 

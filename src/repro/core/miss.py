@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.schema import DatasetSchema
-from ..nn import Module, Tensor
+from ..nn import Module, Tensor, concatenate, get_backend
 from ..nn import functional as F
 from ..obs.timers import phase
 from .augmentation import (
@@ -57,6 +57,28 @@ def _id_blocks(sequences: np.ndarray, row_start: int, height: int,
 def _collisions(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``(B, B)`` mask: ``[i, j]`` True iff ``a[i]`` equals ``b[j]``."""
     return (a[:, None, :] == b[None, :, :]).all(axis=2)
+
+
+def _split_rows(z: Tensor, count: int) -> list[Tensor]:
+    """Split ``z`` into ``count`` equal row blocks (inverse of concatenate).
+
+    Cheaper than ``__getitem__`` for partitioning: each block's backward
+    writes straight into the matching rows of ``z.grad`` instead of scattering
+    through a freshly allocated full-size buffer per block.
+    """
+    size = z.shape[0] // count
+    parts = []
+    for i in range(count):
+        start, stop = i * size, (i + 1) * size
+        part_data = z.data[start:stop]
+
+        def backward(grad: np.ndarray, start: int = start, stop: int = stop) -> None:
+            if z.grad is None:
+                z.grad = np.zeros_like(z.data)
+            z.grad[start:stop] += grad
+
+        parts.append(Tensor._make(part_data, (z,), "split_rows", backward))
+    return parts
 
 
 class MISSModule(Module):
@@ -147,6 +169,62 @@ class MISSModule(Module):
         return _collisions(block2, block2) | _collisions(block1, block2)
 
     # ------------------------------------------------------------------
+    # View encoding (optionally batched across pairs)
+    # ------------------------------------------------------------------
+    def _encode_interest_views(self, samples: list[InterestViewSample]
+                               ) -> list[tuple[Tensor, Tensor]]:
+        """Encode every interest view pair with the shared encoder.
+
+        Under a backend that batches SSL views, all ``2·P`` views go through
+        the encoder as one ``(2·P·B, J·K)`` forward (the encoder is a plain
+        per-row MLP, so this is mathematically identical) and are split back
+        afterwards.  Kept per-pair on the reference backend to preserve the
+        seed's exact floating-point reduction order.
+        """
+        encoder = self.interest_encoder
+        if not (get_backend().batches_ssl_views and type(encoder) is ViewEncoder):
+            return [encoder.encode_pair(*sample.pair) for sample in samples]
+        views: list[Tensor] = []
+        for sample in samples:
+            views.extend(sample.pair)
+        encoded = encoder(concatenate(views, axis=0))
+        parts = _split_rows(encoded, len(views))
+        return [(parts[2 * i], parts[2 * i + 1]) for i in range(len(samples))]
+
+    def _encode_feature_views(self, samples: list[FeatureViewSample]
+                              ) -> list[tuple[Tensor, Tensor]]:
+        """Same batching for the feature-level encoder.
+
+        The field-aware encoder applies its per-field projections per view
+        (they are field-specific by design) and batches only the shared MLP.
+        """
+        encoder = self.feature_encoder
+        if not get_backend().batches_ssl_views:
+            pass
+        elif isinstance(encoder, FieldAwareViewEncoder):
+            projected: list[Tensor] = []
+            for sample in samples:
+                projected.append(encoder.projections[sample.row1](sample.view1))
+                projected.append(encoder.projections[sample.row2](sample.view2))
+            parts = _split_rows(encoder.shared(concatenate(projected, axis=0)),
+                                len(projected))
+            return [(parts[2 * i], parts[2 * i + 1]) for i in range(len(samples))]
+        elif type(encoder) is ViewEncoder:
+            views: list[Tensor] = []
+            for sample in samples:
+                views.extend((sample.view1, sample.view2))
+            parts = _split_rows(encoder(concatenate(views, axis=0)), len(views))
+            return [(parts[2 * i], parts[2 * i + 1]) for i in range(len(samples))]
+        out: list[tuple[Tensor, Tensor]] = []
+        for sample in samples:
+            if isinstance(encoder, FieldAwareViewEncoder):
+                out.append(encoder.encode_pair(sample.view1, sample.view2,
+                                               sample.row1, sample.row2))
+            else:
+                out.append(encoder.encode_pair(sample.view1, sample.view2))
+        return out
+
+    # ------------------------------------------------------------------
     # Losses
     # ------------------------------------------------------------------
     def ssl_losses(self, c: Tensor, mask: np.ndarray | None = None,
@@ -174,8 +252,8 @@ class MISSModule(Module):
                                             distribution=cfg.distance_distribution)
         with phase("model.ssl.infonce"):
             interest_loss = None
-            for sample in samples:
-                z1, z2 = self.interest_encoder.encode_pair(*sample.pair)
+            for sample, (z1, z2) in zip(samples,
+                                        self._encode_interest_views(samples)):
                 term = info_nce(z1, z2, cfg.temperature,
                                 self._interest_false_negatives(sample, sequences))
                 interest_loss = term if interest_loss is None else interest_loss + term
@@ -192,13 +270,8 @@ class MISSModule(Module):
                 seq_len=seq_len, num_fields=c.shape[1])
         with phase("model.ssl.infonce"):
             feature_loss = None
-            for sample in fine_samples:
-                if isinstance(self.feature_encoder, FieldAwareViewEncoder):
-                    z1, z2 = self.feature_encoder.encode_pair(
-                        sample.view1, sample.view2, sample.row1, sample.row2)
-                else:
-                    z1, z2 = self.feature_encoder.encode_pair(sample.view1,
-                                                              sample.view2)
+            for sample, (z1, z2) in zip(fine_samples,
+                                        self._encode_feature_views(fine_samples)):
                 term = info_nce(z1, z2, cfg.temperature,
                                 self._feature_false_negatives(sample, sequences))
                 feature_loss = term if feature_loss is None else feature_loss + term

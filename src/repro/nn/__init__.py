@@ -5,7 +5,16 @@ MISS implementation with a self-contained reverse-mode autodiff framework.
 """
 
 from . import functional
+from . import kernels
 from .attention import DotProductAttention, LocalActivationUnit, MultiHeadSelfAttention
+from .backend import (
+    ArrayOps,
+    available_backends,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
 from .conv import HorizontalConv, VerticalConv
 from .layers import (
     MLP,
@@ -35,7 +44,9 @@ from .tensor import (
 )
 
 __all__ = [
-    "functional",
+    "functional", "kernels",
+    "ArrayOps", "available_backends", "get_backend", "set_backend",
+    "use_backend", "resolve_backend",
     "Tensor", "as_tensor", "no_grad", "is_grad_enabled",
     "concatenate", "stack", "where", "maximum", "minimum",
     "Module", "ModuleList", "Parameter", "Buffer",

@@ -13,6 +13,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from .kernels import linear_act
 from .layers import MLP
 from .module import Module, Parameter
 from .tensor import Tensor, concatenate
@@ -76,7 +77,9 @@ class MultiHeadSelfAttention(Module):
             # (B, L, H*D) -> (B, H, L, D)
             return t.reshape((batch, length, heads, depth)).transpose((0, 2, 1, 3))
 
-        q, k, v = split(x @ self.w_query), split(x @ self.w_key), split(x @ self.w_value)
+        q = split(linear_act(x, self.w_query))
+        k = split(linear_act(x, self.w_key))
+        v = split(linear_act(x, self.w_value))
         logits = (q @ k.transpose((0, 1, 3, 2))) * (1.0 / np.sqrt(depth))
         if mask is not None:
             attend = np.broadcast_to(mask[:, None, None, :], logits.shape)
@@ -86,7 +89,7 @@ class MultiHeadSelfAttention(Module):
         attended = weights @ v  # (B, H, L, D)
         merged = attended.transpose((0, 2, 1, 3)).reshape((batch, length, heads * depth))
         if self.residual:
-            merged = (merged + x @ self.w_res).relu()
+            merged = (merged + linear_act(x, self.w_res)).relu()
         return merged
 
 
@@ -103,7 +106,7 @@ class DotProductAttention(Module):
         self.w_query = Parameter(init.xavier_uniform((embedding_dim, embedding_dim), rng))
 
     def scores(self, sequence: Tensor, query: Tensor, mask: np.ndarray) -> Tensor:
-        projected = query @ self.w_query  # (B, K)
+        projected = linear_act(query, self.w_query)  # (B, K)
         logits = (sequence * projected.expand_dims(1)).sum(axis=-1) * self.scale
         return F.masked_softmax(logits, mask, axis=-1)
 

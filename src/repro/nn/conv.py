@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .module import Module, Parameter
 from .tensor import Tensor
 
@@ -43,11 +44,7 @@ class HorizontalConv(Module):
         if seq_len < self.width:
             raise ValueError(
                 f"sequence length {seq_len} shorter than kernel width {self.width}")
-        out_len = seq_len - self.width + 1
-        result: Tensor | None = None
-        for offset in range(self.width):
-            term = c[:, :, offset:offset + out_len, :] * self.weight[offset]
-            result = term if result is None else result + term
+        result = kernels.conv_window(c, self.weight, axis=2)
         return result.relu() if self.activation else result
 
 
@@ -74,9 +71,5 @@ class VerticalConv(Module):
         if num_fields < self.height:
             raise ValueError(
                 f"field count {num_fields} smaller than kernel height {self.height}")
-        out_fields = num_fields - self.height + 1
-        result: Tensor | None = None
-        for offset in range(self.height):
-            term = g[:, offset:offset + out_fields, :, :] * self.weight[offset]
-            result = term if result is None else result + term
+        result = kernels.conv_window(g, self.weight, axis=1)
         return result.relu() if self.activation else result

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import kernels
 from .tensor import Tensor, as_tensor, concatenate, maximum, where
 
 __all__ = [
@@ -63,8 +64,7 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Ten
 
 def l2_normalize(x: Tensor, axis: int = -1) -> Tensor:
     """Normalise ``x`` to unit L2 norm along ``axis``."""
-    norm = (x * x).sum(axis=axis, keepdims=True).sqrt()
-    return x / (norm + _EPS)
+    return kernels.l2_normalize(x, axis, _EPS)
 
 
 def cosine_similarity(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:

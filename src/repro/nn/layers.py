@@ -8,6 +8,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from . import kernels
 from .module import Buffer, Module, ModuleList, Parameter
 from .tensor import Tensor, maximum
 
@@ -44,12 +45,16 @@ class Dense(Module):
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
         self.bias = Parameter(np.zeros(out_features)) if bias else None
+        # Linear and ReLU epilogues can run inside the fused linear kernel;
+        # anything else (prelu/dice/...) stays a separate module application.
+        self._act_name = activation
         self.activation = get_activation(activation, out_features, rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight
-        if self.bias is not None:
-            out = out + self.bias
+        if self._act_name in (None, "linear", "relu"):
+            return kernels.linear_act(x, self.weight, self.bias,
+                                      relu=self._act_name == "relu")
+        out = kernels.linear_act(x, self.weight, self.bias, relu=False)
         return self.activation(out)
 
 
@@ -72,11 +77,13 @@ class Embedding(Module):
 
     def forward(self, indices: np.ndarray) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
-        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+        # Single bounds pass: reinterpreting int64 as uint64 wraps negatives
+        # to >= 2**63, so one max() catches both ends of the valid range.
+        if indices.size and indices.view(np.uint64).max() >= self.num_embeddings:
             raise IndexError(
                 f"embedding index out of range [0, {self.num_embeddings}): "
                 f"min={indices.min()}, max={indices.max()}")
-        return self.weight.take(indices, axis=0)
+        return kernels.embedding_lookup(self.weight, indices)
 
 
 class Dropout(Module):

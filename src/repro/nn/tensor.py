@@ -28,6 +28,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from .backend import get_backend
+
 __all__ = [
     "Tensor",
     "as_tensor",
@@ -148,9 +150,11 @@ class Tensor:
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
+        ops = get_backend()
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            self.grad = ops.grad_init(grad, self.data)
+        else:
+            ops.grad_add(self.grad, grad)
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Back-propagate from this tensor through the recorded graph."""
@@ -182,6 +186,20 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+
+        ops = get_backend()
+        if ops.pools_gradients:
+            # Interior-node gradients are dead once the walk completes; hand
+            # their buffers back so the next backward pass reuses them
+            # instead of re-allocating.  Leaves (`_backward is None`) keep
+            # their grads for the optimizer; so does the root.
+            for node in topo:
+                if node is self or node._backward is None:
+                    continue
+                buffer = node.grad
+                if buffer is not None:
+                    node.grad = None
+                    ops.release_grad(buffer)
 
     def zero_grad(self) -> None:
         self.grad = None

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import functools
 import time
-from contextlib import contextmanager, nullcontext
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -96,7 +96,26 @@ class PhaseTimings:
 # collector for the duration of a run; an empty stack makes phase() a no-op.
 _ACTIVE: list[PhaseTimings] = []
 
-_NOOP = nullcontext()
+
+class _NoopPhase:
+    """Shared do-nothing scope returned when no collector is active.
+
+    A dedicated slotted singleton (rather than ``contextlib.nullcontext``)
+    keeps the inactive path to two empty method calls with no attribute
+    loads, so ``with phase(...)`` blocks can stay in library hot paths
+    permanently.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP = _NoopPhase()
 
 
 def active_timings() -> PhaseTimings | None:
@@ -128,7 +147,9 @@ def timed(name: str) -> Callable:
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            with phase(name):
+            if not _ACTIVE:  # skip even the no-op context when inactive
+                return fn(*args, **kwargs)
+            with _ACTIVE[-1].phase(name):
                 return fn(*args, **kwargs)
         return wrapper
 

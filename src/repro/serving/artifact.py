@@ -35,6 +35,7 @@ from ..core.plugin import attach_miss
 from ..data.schema import DatasetSchema
 from ..models.base import CTRModel
 from ..models.registry import MODEL_NAMES, create_model
+from ..nn.backend import get_backend
 from ..nn.serialization import read_state, save_checkpoint
 from ..resilience.atomic import atomic_write_json
 from .forward import PARITY_BLOCK
@@ -102,6 +103,10 @@ def export_artifact(model: CTRModel, path: str | Path, *,
         "miss": (_miss_config_to_dict(miss_config)
                  if miss_config is not None else None),
         "block_size": PARITY_BLOCK,
+        # The backend active at export time.  Inference sessions pin scoring
+        # to this backend so online logits stay bit-identical to the
+        # exporting run's offline evaluation.
+        "backend": get_backend().name,
         "arrays": {
             name: {"sha256": array_digest(array),
                    "shape": [int(d) for d in array.shape],

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
+import contextlib
+
 from ..data.batching import Batch
 from ..models.base import CTRModel
-from ..nn import no_grad
+from ..nn import no_grad, use_backend
 
 __all__ = ["PARITY_BLOCK", "forward_logits", "forward_probabilities",
            "sigmoid"]
@@ -41,7 +43,8 @@ def _pad_rows(array: np.ndarray, count: int) -> np.ndarray:
 
 
 def forward_logits(model: CTRModel, batch: Batch,
-                   block_size: int = PARITY_BLOCK) -> np.ndarray:
+                   block_size: int = PARITY_BLOCK,
+                   backend: str | None = None) -> np.ndarray:
     """Logits of ``batch`` under ``no_grad``, computed in fixed-size blocks.
 
     The result is bit-identical for a given sample regardless of batch
@@ -49,14 +52,21 @@ def forward_logits(model: CTRModel, batch: Batch,
     micro-batches reproduce offline evaluation exactly.  ``model`` is run in
     whatever train/eval mode it is currently in; inference callers put the
     model in eval mode once at load time.
+
+    ``backend`` pins the array backend for this forward (thread-locally) —
+    the serving session passes the backend recorded in the artifact manifest
+    so scores stay bit-identical to the exporting run even if the process
+    default differs.  ``None`` keeps the caller's active backend.
     """
     if block_size < 1:
         raise ValueError("block_size must be >= 1")
     n = len(batch)
     if n == 0:
         return np.empty(0, dtype=np.float64)
+    pin = (use_backend(backend) if backend is not None
+           else contextlib.nullcontext())
     outputs = []
-    with no_grad():
+    with pin, no_grad():
         for start in range(0, n, block_size):
             cat = batch.categorical[start:start + block_size]
             seq = batch.sequences[start:start + block_size]
@@ -80,7 +90,9 @@ def sigmoid(logits: np.ndarray) -> np.ndarray:
 
 
 def forward_probabilities(model: CTRModel, batch: Batch,
-                          block_size: int = PARITY_BLOCK) -> np.ndarray:
+                          block_size: int = PARITY_BLOCK,
+                          backend: str | None = None) -> np.ndarray:
     """Click probabilities via :func:`forward_logits` (elementwise sigmoid
     is shape-independent, so probabilities inherit the parity guarantee)."""
-    return sigmoid(forward_logits(model, batch, block_size=block_size))
+    return sigmoid(forward_logits(model, batch, block_size=block_size,
+                                  backend=backend))

@@ -18,6 +18,7 @@ import numpy as np
 from ..data.batching import Batch
 from ..data.schema import DatasetSchema
 from ..models.base import CTRModel
+from ..nn.backend import resolve_backend
 from .artifact import ArtifactError, load_artifact
 from .forward import forward_logits, sigmoid
 
@@ -89,6 +90,16 @@ class InferenceSession:
         if self.block_size is None:
             raise ArtifactError("manifest lacks a block_size; parity with "
                                 "offline evaluation cannot be guaranteed")
+        # Pin scoring to the backend the artifact was exported under so
+        # online logits match the exporting run bit-for-bit.  Artifacts
+        # predating the backend seam ran the reference semantics.
+        self.backend = str(manifest.get("backend") or "reference")
+        try:
+            resolve_backend(self.backend)
+        except ValueError as exc:
+            raise ArtifactError(
+                f"manifest pins unknown backend {self.backend!r}: "
+                f"{exc}") from exc
         model.eval()
 
     @classmethod
@@ -103,7 +114,8 @@ class InferenceSession:
 
     def score_batch(self, batch: Batch) -> np.ndarray:
         """Logits for ``batch`` — deterministic, eval-mode, gradient-free."""
-        return forward_logits(self.model, batch, block_size=self.block_size)
+        return forward_logits(self.model, batch, block_size=self.block_size,
+                              backend=self.backend)
 
     def score_rows(self, rows: Sequence[Mapping[str, Any]]) -> np.ndarray:
         """Logits for request-dict rows (see :func:`rows_to_batch`)."""
@@ -124,4 +136,5 @@ class InferenceSession:
             "num_sequential": self.schema.num_sequential,
             "max_seq_len": self.schema.max_seq_len,
             "block_size": self.block_size,
+            "backend": self.backend,
         }

@@ -39,7 +39,7 @@ import numpy as np
 
 from ..data.batching import Batch, CTRDataset, DataLoader
 from ..models.base import CTRModel
-from ..nn import Adam, clip_grad_norm
+from ..nn import Adam, clip_grad_norm, get_backend
 from ..serving.forward import forward_probabilities
 from ..obs import (
     AnomalyDetectedEvent,
@@ -245,7 +245,8 @@ class Trainer:
         if instrument:
             obs.on_run_start(RunStartEvent(
                 model=type(model).__name__, num_train=len(train),
-                num_validation=len(validation), config=asdict(cfg)))
+                num_validation=len(validation),
+                config={**asdict(cfg), "backend": get_backend().name}))
 
         model.train()
         interrupt = GracefulInterrupt() if handle_signals else None

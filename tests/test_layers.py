@@ -73,6 +73,27 @@ class TestEmbedding:
         with pytest.raises(IndexError):
             emb(np.array([-1]))
 
+    def test_out_of_range_message_reports_both_bounds(self):
+        # The single-pass uint64 bounds check must keep the original
+        # diagnostic: the valid range plus the offending min and max.
+        emb = Embedding(5, 2, make_rng())
+        with pytest.raises(IndexError, match=r"\[0, 5\).*min=-2.*max=7"):
+            emb(np.array([3, -2, 7]))
+
+    def test_bounds_check_on_noncontiguous_indices(self):
+        # The uint64 reinterpretation must work on strided index views too.
+        emb = Embedding(5, 2, make_rng())
+        strided = np.arange(12).reshape(3, 4)[:, ::2]  # max stride elem = 10
+        with pytest.raises(IndexError):
+            emb(strided)
+        assert emb(strided % 5).shape == (3, 2, 2)
+
+    def test_boundary_indices_are_valid(self):
+        emb = Embedding(5, 2, make_rng())
+        out = emb(np.array([0, 4]))
+        assert np.array_equal(out.data[0], emb.weight.data[0])
+        assert np.array_equal(out.data[1], emb.weight.data[4])
+
     def test_gradient_accumulates_for_repeats(self):
         emb = Embedding(4, 3, make_rng())
         out = emb(np.array([1, 1, 2]))

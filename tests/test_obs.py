@@ -158,6 +158,35 @@ class TestTimers:
         with phase("anything"):
             pass  # must not raise or record anywhere
 
+    def test_inactive_phase_is_a_shared_singleton(self):
+        # The no-observer fast path must not allocate per call: every
+        # inactive phase() returns the same no-op scope object.
+        assert phase("a") is phase("b")
+
+    def test_inactive_scopes_record_nothing(self):
+        # Instrumented code that runs while no collector is active must
+        # leave zero trace in a collector activated later.
+        @timed("fn.cold")
+        def work():
+            with phase("inner.cold"):
+                return 1
+
+        assert work() == 1
+        timings = PhaseTimings()
+        with collect(timings):
+            pass
+        assert timings.stats == {}
+
+    def test_timed_skips_context_when_inactive(self):
+        # With no collector, timed() must call straight through — the no-op
+        # must propagate exceptions unchanged (no __exit__ swallowing).
+        @timed("fn.raises")
+        def explode():
+            raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            explode()
+
     def test_nesting_attributes_self_time(self):
         timings = PhaseTimings()
         with collect(timings):
