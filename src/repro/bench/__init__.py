@@ -11,6 +11,7 @@ from .configs import (
     bench_train_config,
 )
 from .micro import KERNEL_NAMES, render_report, run_micro
+from .pipeline import render_pipeline_report, run_pipeline_bench
 from .runner import (
     CellResult,
     baseline_factory,
@@ -26,4 +27,5 @@ __all__ = [
     "CellResult", "run_cell", "baseline_factory", "miss_model_factory",
     "ssl_factory", "render_metric_table", "render_series",
     "KERNEL_NAMES", "run_micro", "render_report",
+    "run_pipeline_bench", "render_pipeline_report",
 ]

@@ -12,7 +12,6 @@ noisy estimator of the achievable time on a shared machine).
 
 from __future__ import annotations
 
-import json
 import platform
 import time
 from pathlib import Path

@@ -18,7 +18,6 @@ from typing import Callable
 
 import numpy as np
 
-from ..core.config import MISSConfig
 from ..core.plugin import attach_miss
 from ..data.processing import ProcessedData
 from ..models.base import CTRModel

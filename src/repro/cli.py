@@ -26,6 +26,10 @@ Commands
 ``bench-ops``
     Microbenchmark the fused array kernels against the reference backend and
     write ``BENCH_ops.json``.
+``bench-pipeline``
+    Benchmark batch assembly over the sharded on-disk format — sequential
+    loader vs. ``PrefetchLoader`` at several worker counts — and write
+    ``BENCH_pipeline.json``.
 
 Every command accepts ``--backend {reference,fused}`` to pick the array-math
 backend (default: the ``REPRO_BACKEND`` environment variable, else
@@ -49,8 +53,17 @@ from typing import Sequence
 import numpy as np
 
 from .bench.micro import render_report, run_micro
+from .bench.pipeline import render_pipeline_report, run_pipeline_bench
 from .core import MISSConfig, attach_miss
-from .data import DATASET_NAMES, compute_stats, load_dataset, make_config
+from .data import (
+    DATASET_NAMES,
+    ShardCorruptError,
+    ShardedCTRDataset,
+    compute_stats,
+    load_dataset,
+    make_config,
+    write_shards,
+)
 from .data.analysis import diagnose_world
 from .data.synthetic import InterestWorld
 from .models import MODEL_NAMES, create_model, supports_miss
@@ -116,6 +129,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(inspect with `repro inspect-run PATH`)")
         p.add_argument("--verbose", action="store_true",
                        help="print throttled per-step/per-epoch progress")
+        p.add_argument("--num-workers", type=int, default=0, metavar="N",
+                       help="background batch-assembly threads (0 = "
+                            "in-line; epoch order and resume stay "
+                            "bit-identical for any value)")
+        p.add_argument("--prefetch-depth", type=int, default=2, metavar="D",
+                       help="batches per worker window when --num-workers "
+                            "> 0 (default 2)")
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="on-disk preprocessing cache: reuse processed "
+                            "splits keyed by raw-data/config digests")
 
     train = sub.add_parser("train", help="train one model")
     add_common(train)
@@ -142,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="detect NaN/Inf loss or gradients and loss "
                             "spikes; roll back to the last good checkpoint "
                             "with learning-rate backoff before giving up")
+    train.add_argument("--shard-dir", metavar="DIR", default=None,
+                       help="train from a sharded on-disk dataset in DIR "
+                            "(written on first use; verified by checksum "
+                            "on every load)")
 
     compare = sub.add_parser("compare", help="train several models")
     add_common(compare)
@@ -149,6 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=list(MODEL_NAMES),
                          help="baselines to run; MISS is attached to the "
                               "first embedding-based one")
+    compare.add_argument("--shard-dir", metavar="DIR", default=None,
+                         help="train every model from the same sharded "
+                              "on-disk dataset in DIR")
 
     inspect = sub.add_parser("inspect-run",
                              help="summarise a JSONL run trace")
@@ -240,6 +270,37 @@ def build_parser() -> argparse.ArgumentParser:
     bench_ops.add_argument("--seed", type=int, default=0)
     bench_ops.add_argument("--out", metavar="FILE", default="BENCH_ops.json",
                            help="JSON report path (default BENCH_ops.json)")
+
+    bench_pipe = sub.add_parser(
+        "bench-pipeline",
+        help="benchmark sequential vs. prefetching batch assembly over the "
+             "sharded on-disk format")
+    bench_pipe.add_argument("--dataset", choices=DATASET_NAMES,
+                            default="amazon-cds")
+    bench_pipe.add_argument("--scale", type=float, default=0.4)
+    bench_pipe.add_argument("--seed", type=int, default=0)
+    bench_pipe.add_argument("--rows", type=int, default=16384, metavar="N",
+                            help="train split is tiled to ~N rows so the "
+                                 "shard set exceeds any cache (default "
+                                 "16384)")
+    bench_pipe.add_argument("--batch-size", type=int, default=256,
+                            metavar="B")
+    bench_pipe.add_argument("--shard-size", type=int, default=512,
+                            metavar="R", help="rows per shard (default 512)")
+    bench_pipe.add_argument("--prefetch-depth", type=int, default=8,
+                            metavar="D",
+                            help="batches per worker window (default 8)")
+    bench_pipe.add_argument("--workers", type=int, nargs="+",
+                            default=[1, 2, 4], metavar="N",
+                            help="prefetch worker counts to time "
+                                 "(default 1 2 4)")
+    bench_pipe.add_argument("--repeats", type=int, default=3, metavar="N",
+                            help="epochs per configuration, best-of-N "
+                                 "(default 3)")
+    bench_pipe.add_argument("--out", metavar="FILE",
+                            default="BENCH_pipeline.json",
+                            help="JSON report path "
+                                 "(default BENCH_pipeline.json)")
     return parser
 
 
@@ -293,16 +354,51 @@ def _build_model(model_name: str, args: argparse.Namespace, data,
             miss_config)
 
 
+def _prepare_shards(args: argparse.Namespace, data):
+    """Open (or first write) the sharded training split for ``--shard-dir``.
+
+    Returns ``None`` when sharding is not requested, else a
+    checksum-verified :class:`ShardedCTRDataset` whose schema must match the
+    freshly processed data — a stale directory from another dataset/scale
+    fails loudly instead of training on the wrong rows.
+    """
+    if not getattr(args, "shard_dir", None):
+        return None
+    directory = Path(args.shard_dir)
+    if not (directory / "index.json").exists():
+        write_shards(data.train, directory)
+        print(f"wrote training shards to {directory}")
+    try:
+        sharded = ShardedCTRDataset(directory, cache_shards=8)
+    except ShardCorruptError as exc:
+        raise SystemExit(f"--shard-dir: {exc}")
+    if sharded.schema != data.schema:
+        raise SystemExit(
+            f"--shard-dir: {directory} holds shards for schema "
+            f"{sharded.schema.name!r}, which does not match the requested "
+            f"dataset; point at an empty directory to (re)shard")
+    if len(sharded) != len(data.train):
+        raise SystemExit(
+            f"--shard-dir: {directory} holds {len(sharded)} rows but the "
+            f"processed train split has {len(data.train)}; point at an "
+            f"empty directory to (re)shard")
+    return sharded
+
+
 def _train_one(model_name: str, args: argparse.Namespace, data,
-               miss: bool = False, observers: ObserverList | None = None):
+               miss: bool = False, observers: ObserverList | None = None,
+               train=None):
     model, label, _ = _build_model(model_name, args, data, miss)
     config = TrainConfig(epochs=args.epochs, learning_rate=args.learning_rate,
                          weight_decay=1e-5, patience=4, seed=args.seed,
-                         eval_batch_size=args.eval_batch_size)
+                         eval_batch_size=args.eval_batch_size,
+                         num_workers=args.num_workers,
+                         prefetch_depth=args.prefetch_depth)
     # Resilience flags exist on the `train` subcommand only; `compare` runs
     # several models into one directory-less session.
     checkpoint_dir = getattr(args, "checkpoint_dir", None)
     result = run_experiment(model, data, config, model_name=label,
+                            train=train,
                             observers=observers,
                             checkpoint_dir=checkpoint_dir,
                             resume=getattr(args, "resume", False),
@@ -320,15 +416,17 @@ def _train_one(model_name: str, args: argparse.Namespace, data,
 def _cmd_train(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
-    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
+                        cache_dir=args.cache_dir)
     observers = _build_observers(args)
     try:
         result = _train_one(args.model, args, data, miss=args.miss,
-                            observers=observers)
+                            observers=observers,
+                            train=_prepare_shards(args, data))
     except TrainingInterrupted as exc:
         print(f"train: {exc}", file=sys.stderr)
         if exc.checkpoint is not None:
-            print(f"train: rerun with --resume to continue bit-identically",
+            print("train: rerun with --resume to continue bit-identically",
                   file=sys.stderr)
         return exc.exit_code
     except NumericalAnomalyError as exc:
@@ -344,17 +442,20 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
+                        cache_dir=args.cache_dir)
     observers = _build_observers(args)
+    shards = _prepare_shards(args, data)
     try:
-        results = [_train_one(name, args, data, observers=observers)
+        results = [_train_one(name, args, data, observers=observers,
+                              train=shards)
                    for name in args.models]
         # Add the MISS-enhanced variant of the first model that can host the
         # plug-in (explicit capability check: MISS needs a shared embedder).
         for name in args.models:
             if supports_miss(name):
                 results.append(_train_one(name, args, data, miss=True,
-                                          observers=observers))
+                                          observers=observers, train=shards))
                 break
     finally:
         _close_observers(observers)
@@ -377,12 +478,15 @@ def _cmd_inspect_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
-    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    data = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
+                        cache_dir=args.cache_dir)
     model, label, miss_config = _build_model(args.model, args, data,
                                              miss=args.miss)
     config = TrainConfig(epochs=args.epochs, learning_rate=args.learning_rate,
                          weight_decay=1e-5, patience=4, seed=args.seed,
-                         eval_batch_size=args.eval_batch_size)
+                         eval_batch_size=args.eval_batch_size,
+                         num_workers=args.num_workers,
+                         prefetch_depth=args.prefetch_depth)
     observers = _build_observers(args)
     try:
         result = run_experiment(model, data, config, model_name=label,
@@ -517,6 +621,18 @@ def _cmd_bench_ops(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
+    payload = run_pipeline_bench(
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        rows=args.rows, batch_size=args.batch_size,
+        shard_size=args.shard_size, prefetch_depth=args.prefetch_depth,
+        worker_counts=tuple(args.workers), repeats=args.repeats,
+        out_path=args.out)
+    print(render_pipeline_report(payload))
+    print(f"report written to {args.out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "backend", None):
@@ -525,7 +641,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "compare": _cmd_compare, "inspect-run": _cmd_inspect_run,
                 "export": _cmd_export, "serve": _cmd_serve,
                 "predict": _cmd_predict, "bench-serve": _cmd_bench_serve,
-                "bench-ops": _cmd_bench_ops}
+                "bench-ops": _cmd_bench_ops,
+                "bench-pipeline": _cmd_bench_pipeline}
     return handlers[args.command](args)
 
 

@@ -13,7 +13,6 @@ import numpy as np
 from ..data.batching import Batch
 from ..models.base import DeepCTRModel
 from ..nn import Tensor
-from ..nn import functional as F
 from .config import MISSConfig
 from .miss import MISSModule
 

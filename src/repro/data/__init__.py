@@ -4,6 +4,13 @@ from .analysis import WorldDiagnostics, diagnose_world, topic_adjacency_curve
 from .batching import Batch, CTRDataset, DataLoader
 from .catalogs import DATASET_NAMES, load_dataset, make_config
 from .corruption import downsample, flip_labels
+from .pipeline import (
+    PrefetchLoader,
+    ShardCorruptError,
+    ShardedCTRDataset,
+    cached_build_ctr_data,
+    write_shards,
+)
 from .processing import ProcessedData, build_ctr_data
 from .schema import DatasetSchema, FieldSpec
 from .stats import DatasetStats, compute_stats
@@ -14,6 +21,8 @@ __all__ = [
     "WorldDiagnostics", "diagnose_world", "topic_adjacency_curve",
     "DATASET_NAMES", "load_dataset", "make_config",
     "downsample", "flip_labels",
+    "PrefetchLoader", "ShardCorruptError", "ShardedCTRDataset",
+    "cached_build_ctr_data", "write_shards",
     "ProcessedData", "build_ctr_data",
     "DatasetSchema", "FieldSpec",
     "DatasetStats", "compute_stats",

@@ -118,12 +118,13 @@ class DataLoader:
             raise ValueError("skip must be >= 0")
         n = len(self.dataset)
         order = self._rng.permutation(n) if self.shuffle else np.arange(n)
-        for index, start in enumerate(range(0, n, self.batch_size)):
+        # Jump straight to the first unskipped batch instead of re-slicing
+        # (and discarding) every skipped chunk: resume cost is O(1) in the
+        # skip count, and skip >= len(self) cleanly yields nothing.  With
+        # drop_last the final short chunk is excluded by len(self) itself.
+        for index in range(skip, len(self)):
+            start = index * self.batch_size
             chunk = order[start:start + self.batch_size]
-            if self.drop_last and chunk.size < self.batch_size:
-                return
-            if index < skip:
-                continue
             with phase("data.batch"):
                 batch = self.dataset.batch(chunk)
             yield batch

@@ -1,0 +1,44 @@
+"""Parallel data pipeline: sharded storage, prefetching, processing cache.
+
+Three independent pieces that compose on the training input path (see
+DESIGN.md §11):
+
+* :mod:`~repro.data.pipeline.shards` — checksummed npz shard format
+  (``write_shards`` / ``ShardedCTRDataset``);
+* :mod:`~repro.data.pipeline.loader` — ``PrefetchLoader``, background-thread
+  batch assembly with a deterministic epoch order contract;
+* :mod:`~repro.data.pipeline.cache` — on-disk ``build_ctr_data`` cache keyed
+  by (raw data, world config, processing config) digests.
+"""
+
+from .cache import (
+    PROCESSING_VERSION,
+    cache_key,
+    cached_build_ctr_data,
+    config_digest,
+    processing_digest,
+    schema_digest,
+    world_digest,
+)
+from .loader import PrefetchLoader
+from .shards import (
+    SHARD_FORMAT_VERSION,
+    ShardCorruptError,
+    ShardedCTRDataset,
+    write_shards,
+)
+
+__all__ = [
+    "PROCESSING_VERSION",
+    "cache_key",
+    "cached_build_ctr_data",
+    "config_digest",
+    "processing_digest",
+    "schema_digest",
+    "world_digest",
+    "PrefetchLoader",
+    "SHARD_FORMAT_VERSION",
+    "ShardCorruptError",
+    "ShardedCTRDataset",
+    "write_shards",
+]

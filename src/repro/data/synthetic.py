@@ -21,7 +21,7 @@ exactly the structure MISS exploits (see DESIGN.md §2):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -6,7 +6,7 @@ import numpy as np
 
 from ..data.batching import Batch
 from ..data.schema import DatasetSchema
-from ..nn import MLP, Dense, MultiHeadSelfAttention, Tensor, concatenate
+from ..nn import MLP, Dense, MultiHeadSelfAttention, Tensor
 from .base import DeepCTRModel
 
 __all__ = ["AutoIntModel"]

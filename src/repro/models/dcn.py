@@ -6,7 +6,7 @@ import numpy as np
 
 from ..data.batching import Batch
 from ..data.schema import DatasetSchema
-from ..nn import MLP, Dense, Module, ModuleList, Parameter, Tensor, concatenate, init
+from ..nn import MLP, Dense, Module, Parameter, Tensor, concatenate, init
 from .base import DeepCTRModel
 
 __all__ = ["CrossNetwork", "CrossNetworkMatrix", "DCNModel", "DCNMModel"]

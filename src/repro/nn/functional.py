@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import kernels
-from .tensor import Tensor, as_tensor, concatenate, maximum, where
+from .tensor import Tensor, maximum
 
 __all__ = [
     "softmax",

@@ -23,6 +23,7 @@ from .events import (
     RunEndEvent,
     RunObserver,
     RunStartEvent,
+    ShardLoadedEvent,
 )
 from .inspect import TraceSummary, read_trace, render_summary, summarize_trace
 from .metrics import Counter, EMAMeter, Gauge, MetricRegistry, StreamingHistogram
@@ -37,6 +38,7 @@ __all__ = [
     "CheckpointWrittenEvent", "CheckpointRestoredEvent",
     "AnomalyDetectedEvent",
     "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
+    "ShardLoadedEvent",
     "Counter", "Gauge", "EMAMeter", "StreamingHistogram", "MetricRegistry",
     "PhaseStat", "PhaseTimings", "collect", "phase", "timed", "active_timings",
     "JsonlTraceWriter", "ConsoleReporter",

@@ -23,6 +23,7 @@ __all__ = [
     "CheckpointWrittenEvent", "CheckpointRestoredEvent",
     "AnomalyDetectedEvent",
     "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
+    "ShardLoadedEvent",
     "RunObserver", "BaseObserver", "ObserverList", "CallbackObserver",
 ]
 
@@ -273,6 +274,28 @@ class RequestCompletedEvent:
         return out
 
 
+@dataclass
+class ShardLoadedEvent:
+    """Emitted when the sharded data pipeline reads a shard from disk.
+
+    Only actual disk loads are narrated (cache hits are counted, not
+    evented); ``load_ms`` covers read + checksum + decompress.  May be
+    emitted from prefetch worker threads — the emitting dataset serialises
+    the fan-out, so sinks never see interleaved records.
+    """
+
+    kind: ClassVar[str] = "shard_loaded"
+
+    shard: int
+    rows: int
+    load_ms: float
+    source: str
+
+    def payload(self) -> dict[str, Any]:
+        return {"shard": int(self.shard), "rows": int(self.rows),
+                "load_ms": float(self.load_ms), "source": self.source}
+
+
 @runtime_checkable
 class RunObserver(Protocol):
     """The observer protocol; implement any subset of the five hooks."""
@@ -318,6 +341,9 @@ class BaseObserver:
         pass
 
     def on_request_completed(self, event: RequestCompletedEvent) -> None:
+        pass
+
+    def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
         pass
 
 
@@ -422,5 +448,12 @@ class ObserverList(BaseObserver):
     def on_request_completed(self, event: RequestCompletedEvent) -> None:
         for obs in self.observers:
             hook = getattr(obs, "on_request_completed", None)
+            if hook is not None:
+                hook(event)
+
+    # Data-pipeline hook (additive, schema v1): same getattr fan-out.
+    def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_shard_loaded", None)
             if hook is not None:
                 hook(event)

@@ -22,6 +22,7 @@ from .events import (
     RequestReceivedEvent,
     RunEndEvent,
     RunStartEvent,
+    ShardLoadedEvent,
 )
 
 __all__ = ["JsonlTraceWriter", "ConsoleReporter"]
@@ -98,6 +99,9 @@ class JsonlTraceWriter(BaseObserver):
         self._write(event.kind, event.payload())
 
     def on_request_completed(self, event: RequestCompletedEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
         self._write(event.kind, event.payload())
 
     def close(self) -> None:

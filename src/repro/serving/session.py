@@ -37,10 +37,10 @@ def rows_to_batch(schema: DatasetSchema,
     if not rows:
         raise ValueError("rows must be non-empty")
     n = len(rows)
-    i, j, l = schema.num_categorical, schema.num_sequential, schema.max_seq_len
+    i, j, t = schema.num_categorical, schema.num_sequential, schema.max_seq_len
     categorical = np.zeros((n, i), dtype=np.int64)
-    sequences = np.zeros((n, j, l), dtype=np.int64)
-    mask = np.zeros((n, l), dtype=bool)
+    sequences = np.zeros((n, j, t), dtype=np.int64)
+    mask = np.zeros((n, t), dtype=bool)
     for r, row in enumerate(rows):
         try:
             cat = np.asarray(row["categorical"], dtype=np.int64)
@@ -52,12 +52,12 @@ def rows_to_batch(schema: DatasetSchema,
         if cat.shape != (i,):
             raise ValueError(f"row {r}: categorical has shape {cat.shape}, "
                              f"schema {schema.name!r} needs ({i},)")
-        if seq.shape != (j, l):
+        if seq.shape != (j, t):
             raise ValueError(f"row {r}: sequences has shape {seq.shape}, "
-                             f"schema {schema.name!r} needs ({j}, {l})")
-        if msk.shape != (l,):
+                             f"schema {schema.name!r} needs ({j}, {t})")
+        if msk.shape != (t,):
             raise ValueError(f"row {r}: mask has shape {msk.shape}, "
-                             f"schema {schema.name!r} needs ({l},)")
+                             f"schema {schema.name!r} needs ({t},)")
         for col, spec in enumerate(schema.categorical):
             if not 0 <= cat[col] < spec.vocab_size:
                 raise ValueError(

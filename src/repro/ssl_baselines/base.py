@@ -16,7 +16,6 @@ from ..core.losses import info_nce
 from ..data.batching import Batch
 from ..models.base import DeepCTRModel
 from ..nn import Parameter, Tensor, init
-from .. import nn
 
 __all__ = ["SSLBaselineModel"]
 

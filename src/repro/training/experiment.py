@@ -82,7 +82,7 @@ def calibrated_eval(model: CTRModel, data: ProcessedData,
 
 
 def run_experiment(model: CTRModel, data: ProcessedData, config: TrainConfig,
-                   model_name: str = "", train: CTRDataset | None = None,
+                   model_name: str = "", train=None,
                    on_batch_end=None, observers=None, *,
                    checkpoint_dir=None, resume: bool = False,
                    checkpoint_every: int | None = None,
@@ -90,7 +90,8 @@ def run_experiment(model: CTRModel, data: ProcessedData, config: TrainConfig,
                    anomaly_guard=None) -> ExperimentResult:
     """Train ``model`` and return calibrated test metrics.
 
-    ``train`` overrides the training split (used by the corruption studies);
+    ``train`` overrides the training split (used by the corruption studies
+    and to train straight off a pipeline ``ShardedCTRDataset``);
     validation/test always come from ``data`` untouched.  ``observers`` are
     threaded through to :meth:`Trainer.fit` and additionally receive the
     calibrated test evaluation as a final ``eval_end`` event (after the

@@ -38,6 +38,7 @@ from typing import Callable
 import numpy as np
 
 from ..data.batching import Batch, CTRDataset, DataLoader
+from ..data.pipeline.loader import PrefetchLoader
 from ..models.base import CTRModel
 from ..nn import Adam, clip_grad_norm, get_backend
 from ..serving.forward import forward_probabilities
@@ -89,11 +90,17 @@ class TrainConfig:
     patience: int = 3          # early stopping on validation AUC
     grad_clip: float = 10.0
     seed: int = 0
+    num_workers: int = 0       # 0 = in-line batch assembly (DataLoader)
+    prefetch_depth: int = 2    # batches per worker window when prefetching
 
     def __post_init__(self):
         # Bad CLI input must fail here, at construction, not mid-run.
         if self.epochs < 1:
             raise ValueError("epochs must be >= 1")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be >= 1")
         if self.patience < 1:
             raise ValueError("patience must be >= 1")
         if self.batch_size < 1:
@@ -183,7 +190,9 @@ class Trainer:
     def __init__(self, config: TrainConfig):
         self.config = config
 
-    def fit(self, model: CTRModel, train: CTRDataset, validation: CTRDataset,
+    # ``train`` may be any ``__len__`` + ``batch(indices)`` dataset — the
+    # in-memory CTRDataset or a pipeline ShardedCTRDataset (duck-typed).
+    def fit(self, model: CTRModel, train, validation: CTRDataset,
             on_batch_end: BatchCallback | None = None,
             observers=None, *,
             checkpoint_dir: str | Path | None = None,
@@ -205,8 +214,17 @@ class Trainer:
             handle_signals = store is not None
 
         rng = np.random.default_rng(cfg.seed)
-        loader = DataLoader(train, batch_size=cfg.batch_size, shuffle=True,
-                            rng=rng)
+        if cfg.num_workers > 0:
+            # Same RNG stream, same epoch order — the prefetch loader's
+            # determinism contract (DESIGN.md §11) keeps resume bit-identical
+            # at any worker count.
+            loader = PrefetchLoader(train, batch_size=cfg.batch_size,
+                                    shuffle=True, rng=rng,
+                                    num_workers=cfg.num_workers,
+                                    prefetch_depth=cfg.prefetch_depth)
+        else:
+            loader = DataLoader(train, batch_size=cfg.batch_size, shuffle=True,
+                                rng=rng)
         optimizer = Adam(model.parameters(), lr=cfg.learning_rate,
                          weight_decay=cfg.weight_decay)
         state = _RunState(rng)
@@ -241,6 +259,15 @@ class Trainer:
         instrument = bool(obs)
         registry = MetricRegistry() if instrument else None
         timings = PhaseTimings(registry=registry) if instrument else None
+        if instrument:
+            # Pipeline telemetry (queue-depth gauge, shard-cache counters,
+            # shard_loaded events) when the loader/dataset support it; the
+            # loader forwards the binding to its dataset.
+            for target in (loader, train):
+                bind = getattr(target, "bind_telemetry", None)
+                if bind is not None:
+                    bind(registry=registry, observers=obs)
+                    break
         run_start = time.perf_counter()
         if instrument:
             obs.on_run_start(RunStartEvent(

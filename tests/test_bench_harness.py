@@ -83,4 +83,4 @@ class TestRendering:
         lines = text.splitlines()
         assert lines[0] == "F"
         assert "0.1000" in text and "0.4000" in text
-        assert len([l for l in lines if l.startswith(("1", "2"))]) == 2
+        assert len([ln for ln in lines if ln.startswith(("1", "2"))]) == 2

@@ -11,7 +11,6 @@ from repro.nn import (
     Dice,
     Dropout,
     Embedding,
-    Module,
     Parameter,
     PReLU,
     Sequential,
@@ -19,7 +18,6 @@ from repro.nn import (
     clip_grad_norm,
     get_activation,
 )
-from repro.nn import functional as F
 
 from .helpers import check_gradients
 

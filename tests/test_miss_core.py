@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core import (
     FineGrainedExtractor,
     MISSConfig,
-    MISSEnhancedModel,
     MISSModule,
     MultiInterestExtractor,
     SimilarityTracker,

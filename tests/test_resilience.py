@@ -369,6 +369,7 @@ def assert_same_outcome(result_a, result_b, model_a, model_b):
     assert_states_equal(model_a.state_dict(), model_b.state_dict())
 
 
+@pytest.mark.slow
 class TestExactResume:
     @pytest.mark.parametrize("miss", [False, True],
                              ids=["plain", "miss-rng-streams"])

@@ -495,6 +495,8 @@ def server(session):
         yield running
 
 
+@pytest.mark.slow
+@pytest.mark.serving
 class TestHTTPServer:
     def test_healthz(self, server):
         status, payload = _get(server.url + "/healthz")
@@ -555,6 +557,7 @@ class TestHTTPServer:
             _get(server.url + "/healthz")
 
 
+@pytest.mark.slow
 class TestLoadgen:
     def test_request_stream_round_robin_without_repeats(self):
         assert build_request_stream(3, 7) == [0, 1, 2, 0, 1, 2, 0]
