@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Perf-regression guard: compare fresh bench output against baselines.
+
+Usage (what the ``bench-guard`` CI job runs)::
+
+    python -m repro bench-ops --out /tmp/ops.json
+    python -m repro bench-pipeline --out /tmp/pipe.json
+    python scripts/check_bench.py --candidate-ops /tmp/ops.json \
+        --candidate-pipeline /tmp/pipe.json
+
+Each candidate report is checked against the committed baseline
+(``BENCH_ops.json`` / ``BENCH_pipeline.json`` at the repo root) with a
+per-metric tolerance band.  The compared quantity is always an **in-run
+relative speedup** (fused-vs-reference per kernel, prefetch-vs-sequential
+per worker count), never absolute milliseconds: both sides of each ratio
+ran on the same machine seconds apart, so the ratios transfer across CI
+hardware while absolute timings do not.
+
+A metric regresses when the candidate ratio falls below
+``max(floor, baseline * (1 - tolerance))``:
+
+* ``tolerance`` absorbs run-to-run noise (default 0.40 — CI runners are
+  shared and jittery; tighten locally with ``--tolerance``).
+* ``floor`` (default 1.0) is the hard line: a "fused" kernel or prefetch
+  pipeline that is *slower than its in-run reference* is a regression no
+  matter what the baseline said.
+
+Exit status: 0 when every checked metric holds, 1 on any regression,
+2 on unreadable/malformed input.  Metrics present in the baseline but
+missing from the candidate fail loudly — silently dropping a kernel from
+the bench is how regressions hide.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TOLERANCE = 0.40
+DEFAULT_FLOOR = 1.0
+
+#: Per-metric tolerance overrides (fraction of baseline allowed to be lost).
+#: ``fused_mlp``'s baseline edge is thin (~1.2x), so a generic band around it
+#: would flag noise; it is guarded mostly by the absolute floor instead.
+TOLERANCE_OVERRIDES = {
+    "ops.fused_mlp": 0.60,
+}
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_bench: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _tolerance(metric: str, default: float) -> float:
+    return TOLERANCE_OVERRIDES.get(metric, default)
+
+
+def _check(metric: str, baseline: float, candidate: float,
+           tolerance: float, floor: float) -> dict:
+    allowed = max(floor, baseline * (1.0 - _tolerance(metric, tolerance)))
+    return {
+        "metric": metric,
+        "baseline": baseline,
+        "candidate": candidate,
+        "allowed": allowed,
+        "ok": candidate >= allowed,
+    }
+
+
+def check_ops(baseline: dict, candidate: dict,
+              tolerance: float = DEFAULT_TOLERANCE,
+              floor: float = DEFAULT_FLOOR) -> list[dict]:
+    """Rows for every kernel in the ops baseline (ok flag per row).
+
+    Speedups are recomputed from the raw timings rather than trusting the
+    report's ``speedup`` field, so an edited/doctored timing cannot pass by
+    leaving a stale ratio behind.
+    """
+    rows = []
+    cand_kernels = candidate.get("kernels", {})
+    for name, base in sorted(baseline.get("kernels", {}).items()):
+        metric = f"ops.{name}"
+        base_ratio = base["reference_ms"] / base["fused_ms"]
+        cand = cand_kernels.get(name)
+        if cand is None:
+            rows.append({"metric": metric, "baseline": base_ratio,
+                         "candidate": None, "allowed": None, "ok": False})
+            continue
+        cand_ratio = cand["reference_ms"] / cand["fused_ms"]
+        rows.append(_check(metric, base_ratio, cand_ratio, tolerance, floor))
+    return rows
+
+
+def _pipeline_speedups(report: dict) -> dict[int, float]:
+    """prefetch speedup-vs-sequential per worker count, recomputed."""
+    sequential = None
+    prefetch = {}
+    for row in report.get("results", []):
+        if row.get("mode") == "sequential":
+            sequential = row["epoch_s"]
+        elif row.get("mode") == "prefetch":
+            prefetch[int(row["num_workers"])] = row["epoch_s"]
+    if sequential is None or not prefetch:
+        print("check_bench: pipeline report lacks sequential/prefetch "
+              "results", file=sys.stderr)
+        raise SystemExit(2)
+    return {w: sequential / s for w, s in prefetch.items()}
+
+
+def check_pipeline(baseline: dict, candidate: dict,
+                   tolerance: float = DEFAULT_TOLERANCE,
+                   floor: float = DEFAULT_FLOOR) -> list[dict]:
+    """One row per (baseline) worker count, plus the best-of comparison.
+
+    Per-worker-count bands catch a regression that only shows under
+    contention; the ``best`` row is the headline number README quotes.
+    """
+    base = _pipeline_speedups(baseline)
+    cand = _pipeline_speedups(candidate)
+    rows = []
+    for workers, base_ratio in sorted(base.items()):
+        metric = f"pipeline.prefetch_w{workers}"
+        if workers not in cand:
+            rows.append({"metric": metric, "baseline": base_ratio,
+                         "candidate": None, "allowed": None, "ok": False})
+            continue
+        rows.append(_check(metric, base_ratio, cand[workers],
+                           tolerance, floor))
+    rows.append(_check("pipeline.prefetch_best", max(base.values()),
+                       max(cand.values()), tolerance, floor))
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    lines = [f"{'metric':<28}{'baseline':>10}{'candidate':>11}"
+             f"{'allowed':>10}  verdict"]
+    for row in rows:
+        if row["candidate"] is None:
+            lines.append(f"{row['metric']:<28}{row['baseline']:>10.3f}"
+                         f"{'missing':>11}{'-':>10}  FAIL (not in candidate)")
+            continue
+        verdict = "ok" if row["ok"] else "REGRESSION"
+        lines.append(f"{row['metric']:<28}{row['baseline']:>10.3f}"
+                     f"{row['candidate']:>11.3f}{row['allowed']:>10.3f}"
+                     f"  {verdict}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when bench speedups regress vs. the committed "
+                    "baselines")
+    parser.add_argument("--baseline-ops", type=Path,
+                        default=REPO_ROOT / "BENCH_ops.json")
+    parser.add_argument("--candidate-ops", type=Path, default=None,
+                        help="fresh `repro bench-ops` report to check")
+    parser.add_argument("--baseline-pipeline", type=Path,
+                        default=REPO_ROOT / "BENCH_pipeline.json")
+    parser.add_argument("--candidate-pipeline", type=Path, default=None,
+                        help="fresh `repro bench-pipeline` report to check")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE, metavar="FRAC",
+                        help="fraction of the baseline speedup a metric may "
+                             "lose before failing (default %(default)s)")
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                        metavar="RATIO",
+                        help="absolute minimum in-run speedup (default "
+                             "%(default)s: never slower than reference)")
+    args = parser.parse_args(argv)
+    if args.candidate_ops is None and args.candidate_pipeline is None:
+        parser.error("nothing to check: pass --candidate-ops and/or "
+                     "--candidate-pipeline")
+
+    rows = []
+    if args.candidate_ops is not None:
+        rows += check_ops(_load(args.baseline_ops),
+                          _load(args.candidate_ops),
+                          args.tolerance, args.floor)
+    if args.candidate_pipeline is not None:
+        rows += check_pipeline(_load(args.baseline_pipeline),
+                               _load(args.candidate_pipeline),
+                               args.tolerance, args.floor)
+    print(render(rows))
+    failures = [r for r in rows if not r["ok"]]
+    if failures:
+        print(f"\ncheck_bench: {len(failures)} regression(s) out of "
+              f"{len(rows)} metric(s)", file=sys.stderr)
+        return 1
+    print(f"\ncheck_bench: all {len(rows)} metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

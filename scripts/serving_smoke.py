@@ -132,9 +132,20 @@ def main() -> int:
             raise SystemExit(f"p99 {observed_p99:.1f}ms exceeds the "
                              f"{P99_BOUND_MS}ms bound")
 
-        with urllib.request.urlopen(url + "/metrics", timeout=5) as resp:
+        with urllib.request.urlopen(url + "/metrics.json", timeout=5) as resp:
             metrics = json.loads(resp.read())
         print(f"[smoke] cache: {metrics['cache']}")
+
+        with urllib.request.urlopen(url + "/metrics", timeout=5) as resp:
+            content_type = resp.headers.get("Content-Type", "")
+            exposition = resp.read().decode("utf-8")
+        if "version=0.0.4" not in content_type:
+            raise SystemExit(f"/metrics Content-Type {content_type!r} is not "
+                             "the Prometheus text exposition")
+        if "serve_latency_seconds_bucket" not in exposition:
+            raise SystemExit("/metrics exposition lacks latency buckets")
+        print("[smoke] /metrics exposition OK "
+              f"({len(exposition.splitlines())} lines)")
 
         print("[smoke] sending SIGTERM, expecting graceful drain")
         server.send_signal(signal.SIGTERM)

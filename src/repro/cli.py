@@ -38,6 +38,15 @@ backend (default: the ``REPRO_BACKEND`` environment variable, else
 ``train`` and ``compare`` accept ``--log-jsonl PATH`` (write a
 schema-versioned JSONL run trace) and ``--verbose`` (throttled console
 progress) — see the Observability section of README.md.
+
+Observability extras:
+
+* ``--trace-jsonl PATH`` (``train``/``serve``/``bench-serve``/
+  ``bench-pipeline``) records per-request/per-window **spans**; head
+  sampling via ``--trace-sample RATE``; render with
+  ``repro inspect-run PATH --spans``.
+* ``--profile PATH`` (``train`` and the ``bench-*`` verbs) runs a sampling
+  profiler and writes flamegraph-ready collapsed stacks to PATH.
 """
 
 from __future__ import annotations
@@ -47,6 +56,7 @@ import json
 import signal
 import sys
 import threading
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Sequence
 
@@ -72,7 +82,13 @@ from .obs import (
     JsonlTraceWriter,
     MetricRegistry,
     ObserverList,
+    SamplingProfiler,
+    Tracer,
+    read_trace,
+    render_spans,
     render_summary,
+    set_tracer,
+    summarize_spans,
     summarize_trace,
 )
 from .nn.backend import BACKEND_NAMES, set_backend
@@ -102,6 +118,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
                        help="array-math backend (default: $REPRO_BACKEND, "
                             "else 'reference')")
+
+    def add_trace_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                       help="record spans (per-request / per-window latency "
+                            "decomposition) to a JSONL trace; view with "
+                            "`repro inspect-run PATH --spans`")
+        p.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="head-sampling rate in [0, 1]: keep this "
+                            "fraction of traces, whole (default 1.0)")
+
+    def add_profile_option(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--profile", metavar="PATH", default=None,
+                       help="sample all threads' stacks while running and "
+                            "write flamegraph-ready collapsed stacks to "
+                            "PATH")
 
     datasets = sub.add_parser("datasets", help="describe the simulated worlds")
     datasets.add_argument("--scale", type=float, default=0.3,
@@ -142,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     train = sub.add_parser("train", help="train one model")
     add_common(train)
+    add_trace_options(train)
+    add_profile_option(train)
     train.add_argument("--model", choices=MODEL_NAMES, default="DIN")
     train.add_argument("--miss", action="store_true",
                        help="attach the MISS SSL component")
@@ -183,6 +217,9 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser("inspect-run",
                              help="summarise a JSONL run trace")
     inspect.add_argument("trace", help="path written via --log-jsonl")
+    inspect.add_argument("--spans", action="store_true",
+                         help="render span timelines and critical paths "
+                              "(traces recorded via --trace-jsonl)")
 
     export = sub.add_parser(
         "export", help="train a model and freeze it as a serving artifact")
@@ -219,6 +256,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "as a JSONL trace")
     serve.add_argument("--verbose", action="store_true",
                        help="print per-flush progress lines")
+    add_trace_options(serve)
 
     predict = sub.add_parser(
         "predict", help="score rows offline through the serving session")
@@ -260,6 +298,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="fraction of re-sent rows, to exercise "
                                   "the cache (default 0.2)")
     add_engine_options(bench_serve)
+    add_trace_options(bench_serve)
+    add_profile_option(bench_serve)
 
     bench_ops = sub.add_parser(
         "bench-ops",
@@ -270,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_ops.add_argument("--seed", type=int, default=0)
     bench_ops.add_argument("--out", metavar="FILE", default="BENCH_ops.json",
                            help="JSON report path (default BENCH_ops.json)")
+    add_profile_option(bench_ops)
 
     bench_pipe = sub.add_parser(
         "bench-pipeline",
@@ -301,6 +342,8 @@ def build_parser() -> argparse.ArgumentParser:
                             default="BENCH_pipeline.json",
                             help="JSON report path "
                                  "(default BENCH_pipeline.json)")
+    add_trace_options(bench_pipe)
+    add_profile_option(bench_pipe)
     return parser
 
 
@@ -337,6 +380,59 @@ def _close_observers(observers: ObserverList) -> None:
     for obs in observers.observers:
         if isinstance(obs, JsonlTraceWriter):
             obs.close()
+
+
+def _build_tracer(args: argparse.Namespace,
+                  observers: ObserverList | None = None):
+    """(tracer, writer-to-close) for ``--trace-jsonl``.
+
+    When the span path equals ``--log-jsonl``'s, the existing writer is
+    shared (spans are additive events in the same schema), and the caller
+    must not close it twice — hence the second element is ``None`` then.
+    """
+    path = getattr(args, "trace_jsonl", None)
+    if not path:
+        return None, None
+    sink = None
+    if observers is not None:
+        for obs in observers.observers:
+            if isinstance(obs, JsonlTraceWriter) and obs.path == path:
+                sink = obs
+                break
+    owned = None
+    if sink is None:
+        try:
+            sink = owned = JsonlTraceWriter(path)
+        except OSError as exc:
+            raise SystemExit(f"--trace-jsonl: cannot open {path}: "
+                             f"{exc.strerror or exc}")
+    try:
+        tracer = Tracer(sink, sample_rate=args.trace_sample)
+    except ValueError as exc:
+        if owned is not None:
+            owned.close()
+        raise SystemExit(f"--trace-sample: {exc}")
+    return tracer, owned
+
+
+@contextmanager
+def _maybe_profile(args: argparse.Namespace):
+    """Run the block under a sampling profiler when ``--profile`` was given;
+    write collapsed stacks on exit."""
+    path = getattr(args, "profile", None)
+    if not path:
+        yield None
+        return
+    profiler = SamplingProfiler()
+    profiler.start()
+    try:
+        yield profiler
+    finally:
+        profiler.stop()
+        profiler.write_collapsed(path)
+        print(f"profile: {profiler.summary()}", file=sys.stderr)
+        print(f"collapsed stacks written to {path} "
+              f"(flamegraph.pl-compatible)", file=sys.stderr)
 
 
 def _build_model(model_name: str, args: argparse.Namespace, data,
@@ -419,10 +515,14 @@ def _cmd_train(args: argparse.Namespace) -> int:
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
                         cache_dir=args.cache_dir)
     observers = _build_observers(args)
+    tracer, owned_writer = _build_tracer(args, observers)
+    if tracer is not None:
+        set_tracer(tracer)  # PrefetchLoader picks it up via get_tracer()
     try:
-        result = _train_one(args.model, args, data, miss=args.miss,
-                            observers=observers,
-                            train=_prepare_shards(args, data))
+        with _maybe_profile(args):
+            result = _train_one(args.model, args, data, miss=args.miss,
+                                observers=observers,
+                                train=_prepare_shards(args, data))
     except TrainingInterrupted as exc:
         print(f"train: {exc}", file=sys.stderr)
         if exc.checkpoint is not None:
@@ -434,10 +534,17 @@ def _cmd_train(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 1
     finally:
+        if tracer is not None:
+            set_tracer(None)
+        if owned_writer is not None:
+            owned_writer.close()
         _close_observers(observers)
     print(f"{result.model_name} on {args.dataset}: test {result.test}")
     if args.log_jsonl:
         print(f"run trace written to {args.log_jsonl}")
+    if args.trace_jsonl:
+        print(f"span trace written to {args.trace_jsonl} "
+              f"(view: repro inspect-run {args.trace_jsonl} --spans)")
     return 0
 
 
@@ -469,11 +576,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_inspect_run(args: argparse.Namespace) -> int:
     try:
-        summary = summarize_trace(args.trace)
+        if args.spans:
+            trees = summarize_spans(read_trace(args.trace))
+            print(render_spans(trees))
+        else:
+            print(render_summary(summarize_trace(args.trace)))
     except (OSError, ValueError) as exc:
         print(f"inspect-run: {exc}", file=sys.stderr)
         return 1
-    print(render_summary(summary))
     return 0
 
 
@@ -520,11 +630,13 @@ def _load_session(artifact: str) -> InferenceSession:
 def _cmd_serve(args: argparse.Namespace) -> int:
     session = _load_session(args.artifact)
     observers = _build_observers(args)
+    tracer, owned_writer = _build_tracer(args, observers)
     server = ScoringServer(
         session, host=args.host, port=args.port,
         max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
         num_workers=args.workers, cache_size=args.cache_size,
-        registry=MetricRegistry(), observers=observers.observers)
+        registry=MetricRegistry(), observers=observers.observers,
+        tracer=tracer)
     stop = threading.Event()
 
     def request_stop(signum, frame) -> None:
@@ -545,6 +657,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         for sig, handler in previous.items():
             signal.signal(sig, handler)
+        if owned_writer is not None:
+            owned_writer.close()
         _close_observers(observers)
     print("drained; bye", file=sys.stderr)
     return 0
@@ -598,36 +712,52 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     session = _load_session(args.artifact)
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     rows = dataset_rows(data.splits[args.split])
+    tracer, owned_writer = _build_tracer(args)
     engine = ScoringEngine(
         session, max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms, num_workers=args.workers,
-        cache_size=args.cache_size)
+        cache_size=args.cache_size, tracer=tracer)
     try:
-        report = run_load(engine, rows, target_qps=args.qps,
-                          num_requests=args.requests,
-                          repeat_fraction=args.repeat_fraction,
-                          seed=args.seed)
+        with _maybe_profile(args):
+            report = run_load(engine, rows, target_qps=args.qps,
+                              num_requests=args.requests,
+                              repeat_fraction=args.repeat_fraction,
+                              seed=args.seed)
     finally:
         engine.close(drain=True)
+        if owned_writer is not None:
+            owned_writer.close()
     print(json.dumps(report, indent=2))
     return 0
 
 
 def _cmd_bench_ops(args: argparse.Namespace) -> int:
-    payload = run_micro(repeats=args.repeats, seed=args.seed,
-                        out_path=args.out)
+    with _maybe_profile(args):
+        payload = run_micro(repeats=args.repeats, seed=args.seed,
+                            out_path=args.out)
     print(render_report(payload))
     print(f"report written to {args.out}")
     return 0
 
 
 def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
-    payload = run_pipeline_bench(
-        dataset=args.dataset, scale=args.scale, seed=args.seed,
-        rows=args.rows, batch_size=args.batch_size,
-        shard_size=args.shard_size, prefetch_depth=args.prefetch_depth,
-        worker_counts=tuple(args.workers), repeats=args.repeats,
-        out_path=args.out)
+    tracer, owned_writer = _build_tracer(args)
+    if tracer is not None:
+        set_tracer(tracer)  # PrefetchLoader workers emit pipeline.window
+    try:
+        with _maybe_profile(args):
+            payload = run_pipeline_bench(
+                dataset=args.dataset, scale=args.scale, seed=args.seed,
+                rows=args.rows, batch_size=args.batch_size,
+                shard_size=args.shard_size,
+                prefetch_depth=args.prefetch_depth,
+                worker_counts=tuple(args.workers), repeats=args.repeats,
+                out_path=args.out)
+    finally:
+        if tracer is not None:
+            set_tracer(None)
+        if owned_writer is not None:
+            owned_writer.close()
     print(render_pipeline_report(payload))
     print(f"report written to {args.out}")
     return 0

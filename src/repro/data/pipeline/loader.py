@@ -34,11 +34,13 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Iterator
 
 import numpy as np
 
 from ...obs.timers import phase
+from ...obs.trace import get_tracer
 from ..batching import Batch
 
 __all__ = ["PrefetchLoader"]
@@ -161,6 +163,11 @@ class PrefetchLoader:
             windows.append((j % workers, wstart, min(wstart + depth, num_batches)))
         queues = [queue.Queue(maxsize=depth) for _ in range(workers)]
         stop = threading.Event()
+        # Trace context is captured here, on the consumer thread, and handed
+        # to workers explicitly — contextvars do not cross thread spawns.
+        tracer = get_tracer()
+        epoch_ctx = tracer.make_context() if tracer is not None else None
+        epoch_start = time.monotonic()
 
         def post(q: queue.Queue, item) -> bool:
             while not stop.is_set():
@@ -178,11 +185,18 @@ class PrefetchLoader:
                     if owner != worker_id:
                         continue
                     chunks = [self._chunk(order, k) for k in range(wstart, wend)]
+                    window_start = time.monotonic()
                     gather = getattr(self.dataset, "gather_batches", None)
                     if gather is not None:
                         batches = gather(chunks)
                     else:
                         batches = [self.dataset.batch(c) for c in chunks]
+                    if tracer is not None:
+                        tracer.record_span(
+                            "pipeline.window", epoch_ctx, window_start,
+                            time.monotonic(),
+                            attrs={"worker": worker_id,
+                                   "batches": wend - wstart})
                     for batch in batches:
                         if not post(q, ("batch", batch)):
                             return
@@ -214,6 +228,12 @@ class PrefetchLoader:
                         break
             for t in threads:
                 t.join(timeout=_JOIN_TIMEOUT_S)
+            if tracer is not None:
+                tracer.record_span(
+                    "pipeline.epoch", epoch_ctx, epoch_start,
+                    time.monotonic(), span_id=epoch_ctx.span_id,
+                    attrs={"num_workers": workers,
+                           "batches": num_batches - skip})
 
     def _record_queue_depth(self, queues) -> None:
         if self._registry is None:

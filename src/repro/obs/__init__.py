@@ -25,10 +25,37 @@ from .events import (
     RunStartEvent,
     ShardLoadedEvent,
 )
-from .inspect import TraceSummary, read_trace, render_summary, summarize_trace
-from .metrics import Counter, EMAMeter, Gauge, MetricRegistry, StreamingHistogram
+from .inspect import (
+    SpanTree,
+    TraceSummary,
+    read_trace,
+    render_summary,
+    render_spans,
+    summarize_spans,
+    summarize_trace,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    Counter,
+    EMAMeter,
+    FixedBucketHistogram,
+    Gauge,
+    MetricRegistry,
+    StreamingHistogram,
+)
+from .profiler import SamplingProfiler
 from .sinks import ConsoleReporter, JsonlTraceWriter
 from .timers import PhaseStat, PhaseTimings, active_timings, collect, phase, timed
+from .trace import (
+    SpanContext,
+    SpanRecorder,
+    Tracer,
+    current_span,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -39,8 +66,13 @@ __all__ = [
     "AnomalyDetectedEvent",
     "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
     "ShardLoadedEvent",
-    "Counter", "Gauge", "EMAMeter", "StreamingHistogram", "MetricRegistry",
+    "Counter", "Gauge", "EMAMeter", "StreamingHistogram",
+    "FixedBucketHistogram", "MetricRegistry", "DEFAULT_LATENCY_BUCKETS_S",
     "PhaseStat", "PhaseTimings", "collect", "phase", "timed", "active_timings",
     "JsonlTraceWriter", "ConsoleReporter",
     "TraceSummary", "read_trace", "summarize_trace", "render_summary",
+    "SpanTree", "summarize_spans", "render_spans",
+    "SpanContext", "SpanRecorder", "Tracer", "current_span", "get_tracer",
+    "set_tracer", "span", "use_tracer",
+    "SamplingProfiler",
 ]

@@ -224,10 +224,14 @@ class RequestReceivedEvent:
     request_id: int
     cached: bool          # True when the LRU cache answered without queueing
     queue_depth: int
+    trace_id: str | None = None   # set when tracing sampled this request
 
     def payload(self) -> dict[str, Any]:
-        return {"request_id": int(self.request_id), "cached": bool(self.cached),
-                "queue_depth": int(self.queue_depth)}
+        out = {"request_id": int(self.request_id), "cached": bool(self.cached),
+               "queue_depth": int(self.queue_depth)}
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
 
 @dataclass
@@ -244,12 +248,16 @@ class BatchFlushedEvent:
     queue_depth: int
     wait_ms: float
     forward_ms: float
+    trace_id: str | None = None   # trace of the oldest request in the batch
 
     def payload(self) -> dict[str, Any]:
-        return {"batch_size": int(self.batch_size),
-                "queue_depth": int(self.queue_depth),
-                "wait_ms": float(self.wait_ms),
-                "forward_ms": float(self.forward_ms)}
+        out = {"batch_size": int(self.batch_size),
+               "queue_depth": int(self.queue_depth),
+               "wait_ms": float(self.wait_ms),
+               "forward_ms": float(self.forward_ms)}
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
 
 @dataclass
@@ -263,6 +271,7 @@ class RequestCompletedEvent:
     cached: bool
     batch_size: int       # 0 for cache hits (no forward ran)
     error: str | None = None
+    trace_id: str | None = None   # set when tracing sampled this request
 
     def payload(self) -> dict[str, Any]:
         out: dict[str, Any] = {"request_id": int(self.request_id),
@@ -271,6 +280,8 @@ class RequestCompletedEvent:
                                "batch_size": int(self.batch_size)}
         if self.error is not None:
             out["error"] = self.error
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         return out
 
 

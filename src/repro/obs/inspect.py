@@ -13,7 +13,8 @@ from typing import Any
 
 from .events import SCHEMA_VERSION
 
-__all__ = ["TraceSummary", "read_trace", "summarize_trace", "render_summary"]
+__all__ = ["TraceSummary", "read_trace", "summarize_trace", "render_summary",
+           "SpanTree", "summarize_spans", "render_spans"]
 
 
 @dataclass
@@ -100,6 +101,132 @@ def summarize_trace(path: str) -> TraceSummary:
             summary.timings = record.get("timings", {})
             summary.metrics = record.get("metrics", {})
     return summary
+
+
+# ---------------------------------------------------------------------------
+# Span timeline / critical path (``inspect-run PATH --spans``)
+# ---------------------------------------------------------------------------
+@dataclass
+class SpanTree:
+    """One trace's spans, parent-linked and chronologically ordered."""
+
+    trace_id: str
+    spans: list[dict[str, Any]]            # sorted by start_s
+    children: dict[str | None, list[dict[str, Any]]]
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end_s - self.start_s) * 1000.0
+
+    def roots(self) -> list[dict[str, Any]]:
+        """Spans whose parent is absent from the trace (usually one)."""
+        ids = {s["span_id"] for s in self.spans}
+        return [s for s in self.spans if s.get("parent_id") not in ids]
+
+    def critical_path(self) -> list[dict[str, Any]]:
+        """Root-to-leaf chain through the longest child at each level.
+
+        For the serving trace shape (request → queue_wait / forward) this
+        names the stage that dominates the request's latency.
+        """
+        roots = self.roots()
+        if not roots:
+            return []
+        node = max(roots, key=lambda s: s["duration_ms"])
+        path = [node]
+        while True:
+            kids = self.children.get(node["span_id"], [])
+            if not kids:
+                return path
+            node = max(kids, key=lambda s: s["duration_ms"])
+            path.append(node)
+
+
+def summarize_spans(events: list[dict[str, Any]]) -> list[SpanTree]:
+    """Group a trace file's ``span`` events into per-trace trees."""
+    spans = [record for record in events if record.get("event") == "span"]
+    if not spans:
+        raise ValueError("trace contains no span events (record some with "
+                         "serve/bench-serve --trace-jsonl)")
+    by_trace: dict[str, list[dict[str, Any]]] = {}
+    for record in spans:
+        by_trace.setdefault(record["trace_id"], []).append(record)
+    trees = []
+    for trace_id, members in by_trace.items():
+        members.sort(key=lambda s: (s["start_s"], s["span_id"]))
+        children: dict[str | None, list[dict[str, Any]]] = {}
+        for record in members:
+            children.setdefault(record.get("parent_id"), []).append(record)
+        start = min(s["start_s"] for s in members)
+        end = max(s["start_s"] + s["duration_ms"] / 1000.0 for s in members)
+        trees.append(SpanTree(trace_id=trace_id, spans=members,
+                              children=children, start_s=start, end_s=end))
+    trees.sort(key=lambda t: t.start_s)
+    return trees
+
+
+def _span_depths(tree: SpanTree) -> dict[str, int]:
+    depths: dict[str, int] = {}
+    ids = {s["span_id"] for s in tree.spans}
+    for record in tree.spans:  # chronological ⇒ parents precede children
+        parent = record.get("parent_id")
+        depths[record["span_id"]] = (depths.get(parent, -1) + 1
+                                     if parent in ids else 0)
+    return depths
+
+
+def render_spans(trees: list[SpanTree], width: int = 40,
+                 max_traces: int = 12) -> str:
+    """Per-trace timeline bars plus the critical path and a name rollup."""
+    lines = [f"Span traces: {len(trees)} trace(s), "
+             f"{sum(len(t.spans) for t in trees)} span(s)"]
+    shown = trees[:max_traces]
+    for tree in shown:
+        lines.append("")
+        lines.append(f"trace {tree.trace_id}  "
+                     f"({len(tree.spans)} spans, {tree.duration_ms:.2f}ms)")
+        depths = _span_depths(tree)
+        window_ms = max(tree.duration_ms, 1e-9)
+        for record in tree.spans:
+            offset_ms = (record["start_s"] - tree.start_s) * 1000.0
+            lo = int(round(offset_ms / window_ms * width))
+            hi = int(round((offset_ms + record["duration_ms"])
+                           / window_ms * width))
+            hi = min(max(hi, lo + 1), width)
+            bar = " " * lo + "█" * (hi - lo) + " " * (width - hi)
+            label = ("  " * depths[record["span_id"]]
+                     + record["name"])[:30]
+            lines.append(f"  {label:<30} |{bar}| "
+                         f"{record['duration_ms']:>9.3f}ms "
+                         f"[{record.get('thread', '?')}]")
+        path = tree.critical_path()
+        if path:
+            covered = path[-1]["duration_ms"]
+            share = 100.0 * covered / window_ms
+            lines.append("  critical path: "
+                         + " -> ".join(s["name"] for s in path)
+                         + f"  (leaf {covered:.3f}ms, {share:.0f}% of trace)")
+    if len(trees) > len(shown):
+        lines.append("")
+        lines.append(f"... {len(trees) - len(shown)} more trace(s) omitted")
+
+    totals: dict[str, list[float]] = {}
+    for tree in trees:
+        for record in tree.spans:
+            totals.setdefault(record["name"], []).append(
+                record["duration_ms"])
+    lines.append("")
+    lines.append("Per-span-name rollup:")
+    lines.append(f"  {'name':<26}{'count':>7}{'total_ms':>11}{'mean_ms':>10}"
+                 f"{'max_ms':>10}")
+    for name, values in sorted(totals.items(),
+                               key=lambda kv: -sum(kv[1])):
+        lines.append(f"  {name:<26}{len(values):>7}{sum(values):>11.3f}"
+                     f"{sum(values) / len(values):>10.3f}"
+                     f"{max(values):>10.3f}")
+    return "\n".join(lines)
 
 
 def _format_components(components: dict[str, Any] | None) -> str:

@@ -1,22 +1,56 @@
-"""Metric registry: counters, gauges, EMA meters, and streaming histograms.
+"""Metric registry: counters, gauges, EMA meters, and histograms.
 
 Metrics are keyed by dotted names (``train.loss.logloss``, ``train.grad_norm``,
 ``data.batch_ms``) and created on first use via the typed accessors of
 :class:`MetricRegistry`.  ``snapshot()`` renders the whole registry as a
 JSON-safe dict, which is what the run-trace sink embeds in the ``run_end``
-event.
+event; :meth:`MetricRegistry.render_prometheus` renders it in the Prometheus
+text exposition format for ``GET /metrics`` scrapes.
+
+Two histogram flavours coexist deliberately:
+
+* :class:`StreamingHistogram` — a reservoir quantile sketch, good for
+  offline run summaries where the interesting quantile is unknown upfront.
+* :class:`FixedBucketHistogram` — fixed upper bounds with cumulative
+  counts, the shape Prometheus expects so fleet-level latency quantiles can
+  be aggregated across replicas (reservoir quantiles cannot be merged).
+
+All mutators are thread-safe: serving updates these from HTTP handler
+threads and engine workers concurrently.
 """
 
 from __future__ import annotations
 
+import hashlib
 import re
+import threading
+from bisect import bisect_left
 
 import numpy as np
 
 __all__ = ["Counter", "Gauge", "EMAMeter", "StreamingHistogram",
-           "MetricRegistry"]
+           "FixedBucketHistogram", "MetricRegistry",
+           "DEFAULT_LATENCY_BUCKETS_S"]
 
 _NAME_RE = re.compile(r"^[A-Za-z0-9_\-]+(\.[A-Za-z0-9_\-]+)*$")
+
+#: Default latency buckets (seconds) for serving-path fixed histograms:
+#: sub-millisecond cache hits through multi-second stalls.
+DEFAULT_LATENCY_BUCKETS_S = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _stable_seed(name: str) -> int:
+    """Deterministic per-name RNG seed, stable across processes.
+
+    ``hash(str)`` is salted per interpreter (PYTHONHASHSEED), which would
+    make reservoir contents differ between identically-seeded runs; a
+    digest keeps the "deterministic replacement stream" promise honest.
+    """
+    return int.from_bytes(
+        hashlib.blake2s(name.encode("utf-8"), digest_size=4).digest(), "big")
 
 
 class Counter:
@@ -27,11 +61,13 @@ class Counter:
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only increase; use a gauge instead")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict:
         return {"kind": self.kind, "value": self.value}
@@ -70,12 +106,14 @@ class EMAMeter:
         self.count = 0
         self._raw = 0.0
         self.last: float | None = None
+        self._lock = threading.Lock()
 
     def update(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self._raw = self.beta * self._raw + (1.0 - self.beta) * value
-        self.last = value
+        with self._lock:
+            self.count += 1
+            self._raw = self.beta * self._raw + (1.0 - self.beta) * value
+            self.last = value
 
     @property
     def value(self) -> float | None:
@@ -89,8 +127,15 @@ class EMAMeter:
 
 
 class StreamingHistogram:
-    """Quantile sketch over a value stream via deterministic reservoir
-    sampling: exact until ``reservoir_size`` observations, unbiased after."""
+    """Quantile sketch via Vitter's Algorithm R reservoir sampling.
+
+    Exact until ``reservoir_size`` observations; after that, observation
+    ``i`` enters the reservoir with probability ``reservoir_size / i``
+    (replacing a uniformly chosen slot), so the reservoir stays a uniform
+    sample of the whole stream — late values under heavy load are as
+    likely to be represented as early ones.  ``count``/``sum`` are exact
+    totals over every observation, independent of the sketch.
+    """
 
     kind = "histogram"
 
@@ -104,21 +149,32 @@ class StreamingHistogram:
         self.min: float | None = None
         self.max: float | None = None
         self._reservoir: list[float] = []
-        # Deterministic replacement stream keeps runs reproducible.
-        self._rng = np.random.default_rng(abs(hash(name)) % (2 ** 32))
+        # Deterministic replacement stream keeps runs reproducible (seeded
+        # from a digest of the name — stable across processes, unlike
+        # salted str hash()).
+        self._rng = np.random.default_rng(_stable_seed(name))
+        self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        if len(self._reservoir) < self.reservoir_size:
-            self._reservoir.append(value)
-        else:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            if self.count <= self.reservoir_size:
+                self._reservoir.append(value)
+                return
+            # Algorithm R: observation i (1-based) replaces a reservoir
+            # slot with probability k/i, uniformly over slots.
             slot = int(self._rng.integers(0, self.count))
             if slot < self.reservoir_size:
                 self._reservoir[slot] = value
+
+    @property
+    def sum(self) -> float:
+        """Exact sum of every recorded value (not just the reservoir)."""
+        return self.total
 
     @property
     def mean(self) -> float | None:
@@ -127,9 +183,11 @@ class StreamingHistogram:
     def quantile(self, q: float) -> float | None:
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
-        if not self._reservoir:
-            return None
-        return float(np.quantile(np.asarray(self._reservoir), q))
+        with self._lock:
+            if not self._reservoir:
+                return None
+            sample = np.asarray(self._reservoir)
+        return float(np.quantile(sample, q))
 
     @property
     def p50(self) -> float | None:
@@ -140,9 +198,83 @@ class StreamingHistogram:
         return self.quantile(0.95)
 
     def snapshot(self) -> dict:
-        return {"kind": self.kind, "count": self.count, "mean": self.mean,
-                "min": self.min, "max": self.max, "p50": self.p50,
-                "p95": self.p95}
+        return {"kind": self.kind, "count": self.count, "sum": self.total,
+                "mean": self.mean, "min": self.min, "max": self.max,
+                "p50": self.p50, "p95": self.p95}
+
+
+class FixedBucketHistogram:
+    """Histogram with fixed upper bounds and Prometheus bucket semantics.
+
+    ``buckets`` are inclusive upper bounds (``le``) in strictly increasing
+    order; an implicit ``+Inf`` bucket catches everything above the last
+    bound.  ``cumulative()`` returns the running totals Prometheus expects.
+    Unlike the reservoir sketch, fixed buckets from many replicas can be
+    summed server-side, which is what makes fleet-level p99 possible.
+    """
+
+    kind = "fixed_histogram"
+
+    def __init__(self, name: str,
+                 buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("at least one bucket bound is required")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.buckets = bounds
+        self.count = 0
+        self.total = 0.0
+        self._counts = [0] * (len(bounds) + 1)  # last slot: +Inf
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            # First bound >= value; values above every bound land in +Inf.
+            self._counts[bisect_left(self.buckets, value)] += 1
+
+    @property
+    def sum(self) -> float:
+        return self.total
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending at ``+Inf``."""
+        with self._lock:
+            counts = list(self._counts)
+        out, running = [], 0
+        for bound, count in zip(self.buckets + (float("inf"),), counts):
+            running += count
+            out.append((bound, running))
+        return out
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "count": self.count, "sum": self.total,
+                "buckets": {("+Inf" if bound == float("inf") else repr(bound)):
+                            cum for bound, cum in self.cumulative()}}
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitise a dotted metric name into a legal Prometheus identifier."""
+    sanitised = _PROM_INVALID.sub("_", name)
+    if not sanitised or sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
 
 
 class MetricRegistry:
@@ -154,6 +286,7 @@ class MetricRegistry:
 
     def __init__(self):
         self._metrics: dict[str, object] = {}
+        self._create_lock = threading.Lock()
 
     def _get_or_create(self, name: str, factory, kind: str):
         existing = self._metrics.get(name)
@@ -162,12 +295,19 @@ class MetricRegistry:
                 raise TypeError(f"metric {name!r} already registered as "
                                 f"{existing.kind}, requested {kind}")
             return existing
-        if not _NAME_RE.match(name):
-            raise ValueError(f"invalid metric name {name!r}; use dotted "
-                             "segments of [A-Za-z0-9_-]")
-        metric = factory()
-        self._metrics[name] = metric
-        return metric
+        with self._create_lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise TypeError(f"metric {name!r} already registered as "
+                                    f"{existing.kind}, requested {kind}")
+                return existing
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid metric name {name!r}; use dotted "
+                                 "segments of [A-Za-z0-9_-]")
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get_or_create(name, lambda: Counter(name), "counter")
@@ -182,6 +322,14 @@ class MetricRegistry:
                   ) -> StreamingHistogram:
         return self._get_or_create(
             name, lambda: StreamingHistogram(name, reservoir_size), "histogram")
+
+    def fixed_histogram(
+        self, name: str,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
+    ) -> FixedBucketHistogram:
+        return self._get_or_create(
+            name, lambda: FixedBucketHistogram(name, buckets),
+            "fixed_histogram")
 
     def get(self, name: str):
         return self._metrics.get(name)
@@ -198,3 +346,44 @@ class MetricRegistry:
     def snapshot(self) -> dict[str, dict]:
         """JSON-safe dump of every metric, sorted by name."""
         return {name: self._metrics[name].snapshot() for name in self.names()}
+
+    def render_prometheus(self) -> str:
+        """The whole registry in Prometheus text exposition format v0.0.4.
+
+        Mapping: counters gain the conventional ``_total`` suffix; gauges
+        and EMA meters render as gauges (unset ones are omitted — Prometheus
+        has no null); reservoir histograms render as summaries (quantiles +
+        ``_sum``/``_count``); fixed-bucket histograms render as histograms
+        with cumulative ``le`` buckets.
+        """
+        lines: list[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            pname = prometheus_name(name)
+            kind = metric.kind
+            if kind == "counter":
+                lines.append(f"# TYPE {pname}_total counter")
+                lines.append(f"{pname}_total {_fmt(metric.value)}")
+            elif kind in ("gauge", "ema"):
+                value = metric.value
+                if value is None:
+                    continue
+                lines.append(f"# TYPE {pname} gauge")
+                lines.append(f"{pname} {_fmt(value)}")
+            elif kind == "histogram":
+                lines.append(f"# TYPE {pname} summary")
+                for q in (0.5, 0.9, 0.95, 0.99):
+                    value = metric.quantile(q)
+                    if value is not None:
+                        lines.append(f'{pname}{{quantile="{q}"}} '
+                                     f"{_fmt(value)}")
+                lines.append(f"{pname}_sum {_fmt(metric.sum)}")
+                lines.append(f"{pname}_count {metric.count}")
+            elif kind == "fixed_histogram":
+                lines.append(f"# TYPE {pname} histogram")
+                for bound, cum in metric.cumulative():
+                    lines.append(f'{pname}_bucket{{le="{_fmt(bound)}"}} '
+                                 f"{cum}")
+                lines.append(f"{pname}_sum {_fmt(metric.sum)}")
+                lines.append(f"{pname}_count {metric.count}")
+        return "\n".join(lines) + "\n"

@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 import os
 import sys
+import threading
 from contextlib import suppress
 from typing import Any, TextIO
 
@@ -54,6 +55,7 @@ class JsonlTraceWriter(BaseObserver):
     def __init__(self, path: str):
         self.path = path
         self._fh: TextIO | None = open(path, "w", encoding="utf-8")
+        self._write_lock = threading.Lock()
         self.lines_written = 0
 
     @property
@@ -61,12 +63,16 @@ class JsonlTraceWriter(BaseObserver):
         return self._fh is None
 
     def _write(self, kind: str, payload: dict) -> None:
-        if self._fh is None:
-            raise ValueError(f"trace writer for {self.path} is closed")
-        record = {"schema_version": SCHEMA_VERSION, "event": kind, **payload}
-        self._fh.write(json.dumps(record, default=_coerce) + "\n")
-        self._fh.flush()
-        self.lines_written += 1
+        # Serialised: serving events and spans reach one writer from handler,
+        # engine-worker, and tracer threads concurrently.
+        with self._write_lock:
+            if self._fh is None:
+                raise ValueError(f"trace writer for {self.path} is closed")
+            record = {"schema_version": SCHEMA_VERSION, "event": kind,
+                      **payload}
+            self._fh.write(json.dumps(record, default=_coerce) + "\n")
+            self._fh.flush()
+            self.lines_written += 1
 
     def on_run_start(self, event: RunStartEvent) -> None:
         self._write(event.kind, event.payload())
@@ -103,6 +109,11 @@ class JsonlTraceWriter(BaseObserver):
 
     def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
         self._write(event.kind, event.payload())
+
+    def write_span(self, record: dict) -> None:
+        """Span-sink protocol (see :class:`repro.obs.trace.Tracer`): spans
+        share the run-trace file as additive ``span`` events."""
+        self._write("span", record)
 
     def close(self) -> None:
         if self._fh is not None:

@@ -17,6 +17,7 @@ sum to ~100% of the instrumented window.
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -53,27 +54,42 @@ class PhaseTimings:
     def __init__(self, registry: MetricRegistry | None = None):
         self.stats: dict[str, PhaseStat] = {}
         self.registry = registry
-        self._child_stack: list[float] = []
+        # The active-phase stack is *per thread*: ScoringEngine workers and
+        # PrefetchLoader threads time phases concurrently into one
+        # collector, and nesting only ever exists within a single thread.
+        # A shared stack would interleave push/pop across threads and
+        # corrupt self-time accounting (negative self_s, misattributed
+        # child time).
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def _stack(self) -> list[float]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
+        stack = self._stack()
         start = time.perf_counter()
-        self._child_stack.append(0.0)
+        stack.append(0.0)
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            child = self._child_stack.pop()
-            if self._child_stack:
-                self._child_stack[-1] += elapsed
+            child = stack.pop()
+            if stack:
+                stack[-1] += elapsed
             self.observe(name, elapsed, child_seconds=child)
 
     def observe(self, name: str, seconds: float,
                 child_seconds: float = 0.0) -> None:
-        stat = self.stats.setdefault(name, PhaseStat())
-        stat.total_s += seconds
-        stat.child_s += child_seconds
-        stat.count += 1
+        with self._lock:
+            stat = self.stats.setdefault(name, PhaseStat())
+            stat.total_s += seconds
+            stat.child_s += child_seconds
+            stat.count += 1
         if self.registry is not None:
             self.registry.histogram(f"{name}_ms").record(seconds * 1000.0)
 

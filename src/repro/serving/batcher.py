@@ -40,6 +40,7 @@ from ..obs import (
     RequestCompletedEvent,
     RequestReceivedEvent,
 )
+from ..obs.trace import SpanContext, Tracer
 
 __all__ = ["EngineClosedError", "ScoringEngine", "LRUCache", "row_key"]
 
@@ -98,15 +99,21 @@ class LRUCache:
 
 class _Request:
     __slots__ = ("request_id", "categorical", "sequences", "mask", "key",
-                 "future", "enqueued_at")
+                 "future", "enqueued_at", "trace", "trace_parent_id")
 
     def __init__(self, request_id: int, categorical, sequences, mask,
-                 key: bytes | None):
+                 key: bytes | None,
+                 trace: SpanContext | None = None,
+                 trace_parent_id: str | None = None):
         self.request_id = request_id
         self.categorical = categorical
         self.sequences = sequences
         self.mask = mask
         self.key = key
+        # Explicit span-context handoff across the queue boundary: the
+        # worker that flushes this request emits its spans retroactively.
+        self.trace = trace
+        self.trace_parent_id = trace_parent_id
         self.future: Future = Future()
         self.enqueued_at = time.monotonic()
 
@@ -125,7 +132,8 @@ class ScoringEngine:
                  max_wait_ms: float = 2.0, num_workers: int = 1,
                  cache_size: int = 4096,
                  registry: MetricRegistry | None = None,
-                 observers: Iterable | None = None):
+                 observers: Iterable | None = None,
+                 tracer: Tracer | None = None):
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         if max_wait_ms < 0:
@@ -137,6 +145,9 @@ class ScoringEngine:
         self.max_wait_s = max_wait_ms / 1000.0
         self.cache = LRUCache(cache_size)
         self.registry = registry if registry is not None else MetricRegistry()
+        # Optional request tracing; None keeps the hot path at a single
+        # attribute load + None check per request.
+        self.tracer = tracer
         self._observers = ObserverList.build(list(observers or []))
         self._obs_lock = threading.Lock()
         self._queue: deque[_Request] = deque()
@@ -155,36 +166,60 @@ class ScoringEngine:
     # Client side
     # ------------------------------------------------------------------
     def submit_row(self, categorical: np.ndarray, sequences: np.ndarray,
-                   mask: np.ndarray) -> Future:
-        """Queue one feature row; the future resolves to its logit (float)."""
+                   mask: np.ndarray,
+                   trace_parent: SpanContext | None = None) -> Future:
+        """Queue one feature row; the future resolves to its logit (float).
+
+        ``trace_parent`` links the request's spans under an ingress span
+        (the HTTP handler's); with a tracer but no parent, the request
+        starts its own trace (head-sampled).
+        """
         key = (row_key(categorical, sequences, mask)
                if self.cache.capacity else None)
+        tracer = self.tracer
+        trace = trace_parent_id = None
+        if tracer is not None:
+            context = tracer.make_context(trace_parent)
+            if context.sampled:
+                trace = context
+                trace_parent_id = (trace_parent.span_id
+                                   if trace_parent is not None else None)
         with self._cond:
             if self._closing:
                 raise EngineClosedError("scoring engine is shut down")
             self._next_id += 1
             request = _Request(self._next_id, categorical, sequences, mask,
-                               key)
+                               key, trace=trace,
+                               trace_parent_id=trace_parent_id)
             cached = self.cache.get(key) if key is not None else None
             depth = len(self._queue)
             if cached is None:
                 self._queue.append(request)
                 depth += 1
                 self._cond.notify()
+        trace_id = trace.trace_id if trace is not None else None
         self.registry.counter("serve.requests").inc()
         self._emit("on_request_received", RequestReceivedEvent(
             request_id=request.request_id, cached=cached is not None,
-            queue_depth=depth))
+            queue_depth=depth, trace_id=trace_id))
         if cached is not None:
             self.registry.counter("serve.cache.hits").inc()
-            latency_ms = (time.monotonic() - request.enqueued_at) * 1000.0
-            self.registry.histogram("serve.latency_ms").record(latency_ms)
+            done = time.monotonic()
+            latency_ms = (done - request.enqueued_at) * 1000.0
+            self._record_latency(latency_ms)
+            self._set_hit_ratio()
+            if trace is not None:
+                tracer.record_span(
+                    "serve.request", trace, request.enqueued_at, done,
+                    span_id=trace.span_id, parent_id=trace_parent_id,
+                    attrs={"request_id": request.request_id, "cached": True})
             request.future.set_result(cached)
             self._emit("on_request_completed", RequestCompletedEvent(
                 request_id=request.request_id, latency_ms=latency_ms,
-                cached=True, batch_size=0))
+                cached=True, batch_size=0, trace_id=trace_id))
         else:
             self.registry.counter("serve.cache.misses").inc()
+            self._set_hit_ratio()
         return request.future
 
     def score(self, rows: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
@@ -226,10 +261,12 @@ class ScoringEngine:
             return batch
 
     def _flush(self, batch: list[_Request]) -> None:
-        now = time.monotonic()
-        wait_ms = (now - batch[0].enqueued_at) * 1000.0
+        flush_start = time.monotonic()
+        wait_ms = (flush_start - batch[0].enqueued_at) * 1000.0
         with self._cond:
             depth = len(self._queue)
+        tracer = self.tracer
+        oldest_trace = batch[0].trace
         try:
             rows = Batch(
                 categorical=np.stack([r.categorical for r in batch]),
@@ -240,41 +277,77 @@ class ScoringEngine:
             forward_start = time.monotonic()
             logits = np.asarray(self.session.score_batch(rows),
                                 dtype=np.float64)
-            forward_ms = (time.monotonic() - forward_start) * 1000.0
+            forward_end = time.monotonic()
+            forward_ms = (forward_end - forward_start) * 1000.0
             if logits.shape != (len(batch),):
                 raise RuntimeError(
                     f"scorer returned shape {logits.shape} for a batch of "
                     f"{len(batch)} rows")
         except BaseException as exc:  # resolve every request, then continue
+            failed_at = time.monotonic()
             for request in batch:
                 if request.future.set_running_or_notify_cancel():
                     request.future.set_exception(exc)
+                if request.trace is not None:
+                    tracer.record_span(
+                        "serve.request", request.trace, request.enqueued_at,
+                        failed_at, span_id=request.trace.span_id,
+                        parent_id=request.trace_parent_id,
+                        attrs={"request_id": request.request_id,
+                               "error": repr(exc)})
                 self._emit("on_request_completed", RequestCompletedEvent(
                     request_id=request.request_id,
-                    latency_ms=(time.monotonic() - request.enqueued_at)
-                    * 1000.0,
-                    cached=False, batch_size=len(batch), error=repr(exc)))
+                    latency_ms=(failed_at - request.enqueued_at) * 1000.0,
+                    cached=False, batch_size=len(batch), error=repr(exc),
+                    trace_id=(request.trace.trace_id
+                              if request.trace is not None else None)))
             self.registry.counter("serve.errors").inc(len(batch))
             return
+        if oldest_trace is not None:
+            # Micro-batch assembly is shared work; attribute it once, to
+            # the trace of the request that triggered the flush.
+            tracer.record_span("serve.batch_assemble", oldest_trace,
+                               flush_start, forward_start,
+                               attrs={"batch_size": len(batch)})
         self.registry.counter("serve.batches").inc()
         self.registry.histogram("serve.batch_size").record(len(batch))
         self.registry.histogram("serve.queue_depth").record(depth)
         self.registry.histogram("serve.forward_ms").record(forward_ms)
         self._emit("on_batch_flushed", BatchFlushedEvent(
             batch_size=len(batch), queue_depth=depth, wait_ms=wait_ms,
-            forward_ms=forward_ms))
+            forward_ms=forward_ms,
+            trace_id=(oldest_trace.trace_id if oldest_trace is not None
+                      else None)))
         done = time.monotonic()
+        queue_wait_hist = self.registry.fixed_histogram(
+            "serve.queue_wait_seconds")
         for request, logit in zip(batch, logits):
             value = float(logit)
             if request.key is not None:
                 self.cache.put(request.key, value)
             latency_ms = (done - request.enqueued_at) * 1000.0
-            self.registry.histogram("serve.latency_ms").record(latency_ms)
+            queue_wait_hist.record(flush_start - request.enqueued_at)
+            self._record_latency(latency_ms)
+            if request.trace is not None:
+                trace = request.trace
+                tracer.record_span("serve.queue_wait", trace,
+                                   request.enqueued_at, flush_start)
+                tracer.record_span("serve.forward", trace, forward_start,
+                                   forward_end,
+                                   attrs={"batch_size": len(batch)})
+                tracer.record_span(
+                    "serve.request", trace, request.enqueued_at, done,
+                    span_id=trace.span_id,
+                    parent_id=request.trace_parent_id,
+                    attrs={"request_id": request.request_id,
+                           "batch_size": len(batch)})
             if request.future.set_running_or_notify_cancel():
                 request.future.set_result(value)
             self._emit("on_request_completed", RequestCompletedEvent(
                 request_id=request.request_id, latency_ms=latency_ms,
-                cached=False, batch_size=len(batch)))
+                cached=False, batch_size=len(batch),
+                trace_id=(request.trace.trace_id
+                          if request.trace is not None else None)))
 
     # ------------------------------------------------------------------
     # Lifecycle and stats
@@ -324,6 +397,20 @@ class ScoringEngine:
             "queue_depth": self.queue_depth(),
             "metrics": snapshot,
         }
+
+    def _record_latency(self, latency_ms: float) -> None:
+        """Both latency views: reservoir quantiles (run summaries) and
+        fixed Prometheus buckets (fleet aggregation)."""
+        self.registry.histogram("serve.latency_ms").record(latency_ms)
+        self.registry.fixed_histogram("serve.latency_seconds").record(
+            latency_ms / 1000.0)
+
+    def _set_hit_ratio(self) -> None:
+        hits = self.registry.counter("serve.cache.hits").value
+        misses = self.registry.counter("serve.cache.misses").value
+        total = hits + misses
+        if total:
+            self.registry.gauge("serve.cache_hit_ratio").set(hits / total)
 
     def _emit(self, hook: str, event) -> None:
         if not self._observers:

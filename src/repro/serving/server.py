@@ -1,6 +1,6 @@
 """Stdlib HTTP scoring endpoint over the micro-batched engine.
 
-Three routes:
+Routes:
 
 ``POST /score``
     Body ``{"rows": [{"categorical": [...], "sequences": [[...]], "mask":
@@ -8,9 +8,21 @@ Three routes:
     artifact's schema, fan out into the micro-batcher, and come back as
     ``{"logits": [...], "probabilities": [...]}`` in request order.
 ``GET /healthz``
-    Liveness plus the artifact identity block.
+    Readiness JSON: ``status`` is ``"ok"`` (200) while accepting work and
+    ``"draining"`` (503) once shutdown began, plus the artifact digest,
+    backend pin, queue depth, and uptime — enough for a fleet probe to
+    distinguish live-but-draining from ready, and to verify *which* model
+    a replica serves.
 ``GET /metrics``
-    JSON snapshot of the engine's metric registry, cache stats, and uptime.
+    Prometheus text exposition (v0.0.4) of the engine's metric registry —
+    scrape-able by any standard monitoring stack.  Clients sending
+    ``Accept: application/json`` (and the ``/metrics.json`` route) get the
+    original JSON snapshot instead.
+
+With a :class:`~repro.obs.trace.Tracer` attached, every ``/score`` request
+opens an ingress span whose context is handed to the engine, so the JSONL
+span sink records ``http.request → serve.request → serve.queue_wait /
+serve.forward`` per sampled request.
 
 Shutdown is graceful by construction: :meth:`ScoringServer.close` stops the
 accept loop, waits for in-flight handler threads (the HTTP server is
@@ -29,12 +41,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from ..obs import MetricRegistry
+from ..obs.trace import Tracer
 from .batcher import EngineClosedError, ScoringEngine
 from .session import InferenceSession, rows_to_batch
 
 __all__ = ["ScoringServer"]
 
 _MAX_BODY_BYTES = 32 * 1024 * 1024
+_PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _GracefulHTTPServer(ThreadingHTTPServer):
@@ -53,14 +67,17 @@ class ScoringServer:
                  max_wait_ms: float = 2.0, num_workers: int = 1,
                  cache_size: int = 4096,
                  registry: MetricRegistry | None = None,
-                 observers=None, request_timeout_s: float = 30.0):
+                 observers=None, request_timeout_s: float = 30.0,
+                 tracer: Tracer | None = None):
         self.session = session
+        self.tracer = tracer
         self.engine = ScoringEngine(
             session, max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
             num_workers=num_workers, cache_size=cache_size,
-            registry=registry, observers=observers)
+            registry=registry, observers=observers, tracer=tracer)
         self.request_timeout_s = request_timeout_s
         self._started_at = time.monotonic()
+        self._artifact_digest = session.artifact_digest()
         self._httpd = _GracefulHTTPServer((host, port), _make_handler(self))
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: threading.Thread | None = None
@@ -93,6 +110,45 @@ class ScoringServer:
     def uptime_s(self) -> float:
         return time.monotonic() - self._started_at
 
+    def health(self) -> tuple[int, dict[str, Any]]:
+        """(status_code, payload) for ``GET /healthz``.
+
+        Draining (engine closed, in-flight work finishing) reports 503 so
+        load balancers stop routing; everything else is 200.
+        """
+        draining = self.engine.closed
+        payload: dict[str, Any] = {
+            "status": "draining" if draining else "ok",
+            "ready": not draining,
+            "draining": draining,
+            "queue_depth": self.engine.queue_depth(),
+            "uptime_s": self.uptime_s(),
+            "artifact_digest": self._artifact_digest,
+            **self.session.describe(),
+        }
+        return (503 if draining else 200), payload
+
+    def _update_scrape_gauges(self) -> None:
+        """Refresh point-in-time gauges so both exposition formats carry
+        current queue/cache/uptime state at scrape time."""
+        registry = self.engine.registry
+        registry.gauge("serve.uptime_seconds").set(self.uptime_s())
+        registry.gauge("serve.queue_depth_current").set(
+            self.engine.queue_depth())
+        registry.gauge("serve.cache_size").set(len(self.engine.cache))
+        registry.gauge("serve.cache_capacity").set(
+            self.engine.cache.capacity)
+
+    def metrics_json(self) -> dict[str, Any]:
+        self._update_scrape_gauges()
+        stats = self.engine.stats()
+        stats["uptime_s"] = self.uptime_s()
+        return stats
+
+    def metrics_prometheus(self) -> str:
+        self._update_scrape_gauges()
+        return self.engine.registry.render_prometheus()
+
     def __enter__(self) -> "ScoringServer":
         return self.start()
 
@@ -102,6 +158,12 @@ class ScoringServer:
 
 def _make_handler(server: ScoringServer):
     session = server.session
+    registry = server.engine.registry
+
+    def count_request(endpoint: str, status: int) -> None:
+        registry.counter(f"serve.http.{endpoint}.requests").inc()
+        if status >= 400:
+            registry.counter(f"serve.http.{endpoint}.errors").inc()
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
@@ -110,79 +172,103 @@ def _make_handler(server: ScoringServer):
         def log_message(self, format: str, *args) -> None:
             pass
 
-        def _reply(self, status: int, payload: dict[str, Any]) -> None:
-            body = json.dumps(payload).encode("utf-8")
+        def _send(self, status: int, body: bytes, content_type: str) -> None:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)
 
+        def _reply(self, status: int, payload: dict[str, Any],
+                   endpoint: str | None = None) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self._send(status, body, "application/json")
+            if endpoint is not None:
+                count_request(endpoint, status)
+
+        def _wants_json(self) -> bool:
+            return "application/json" in self.headers.get("Accept", "")
+
         def do_GET(self) -> None:
             if self.path == "/healthz":
-                self._reply(200, {"status": "ok", **session.describe()})
+                status, payload = server.health()
+                self._reply(status, payload, endpoint="healthz")
+            elif self.path == "/metrics.json" or (
+                    self.path == "/metrics" and self._wants_json()):
+                self._reply(200, server.metrics_json(), endpoint="metrics")
             elif self.path == "/metrics":
-                stats = server.engine.stats()
-                stats["uptime_s"] = server.uptime_s()
-                self._reply(200, stats)
+                body = server.metrics_prometheus().encode("utf-8")
+                self._send(200, body, _PROMETHEUS_CONTENT_TYPE)
+                count_request("metrics", 200)
             else:
-                self._reply(404, {"error": f"no route {self.path}"})
+                self._reply(404, {"error": f"no route {self.path}"},
+                            endpoint="unknown")
 
         def do_POST(self) -> None:
             if self.path != "/score":
-                self._reply(404, {"error": f"no route {self.path}"})
+                self._reply(404, {"error": f"no route {self.path}"},
+                            endpoint="unknown")
                 return
+            tracer = server.tracer
+            if tracer is None:
+                self._handle_score(None, None)
+                return
+            ingress = tracer.make_context()
+            start = time.monotonic()
+            status = self._handle_score(tracer, ingress)
+            tracer.record_span(
+                "http.request", ingress, start, time.monotonic(),
+                span_id=ingress.span_id, parent_id=None,
+                attrs={"endpoint": "score", "status": status})
+
+        def _handle_score(self, tracer, ingress) -> int:
+            def reply(status: int, payload: dict[str, Any]) -> int:
+                self._reply(status, payload, endpoint="score")
+                return status
+
             try:
                 length = int(self.headers.get("Content-Length", "0"))
             except ValueError:
-                self._reply(411, {"error": "invalid Content-Length"})
-                return
+                return reply(411, {"error": "invalid Content-Length"})
             if length <= 0:
-                self._reply(411, {"error": "Content-Length required"})
-                return
+                return reply(411, {"error": "Content-Length required"})
             if length > _MAX_BODY_BYTES:
-                self._reply(413, {"error": "request body too large"})
-                return
+                return reply(413, {"error": "request body too large"})
             try:
                 payload = json.loads(self.rfile.read(length))
             except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-                self._reply(400, {"error": f"invalid JSON: {exc}"})
-                return
+                return reply(400, {"error": f"invalid JSON: {exc}"})
             rows = payload.get("rows") if isinstance(payload, dict) else None
             if rows is None and isinstance(payload, dict):
                 rows = [payload]        # single-row shorthand
             if not isinstance(rows, list) or not rows:
-                self._reply(400, {"error": "body must be a row object or "
-                                           '{"rows": [...]} with >= 1 row'})
-                return
+                return reply(400, {"error": "body must be a row object or "
+                                            '{"rows": [...]} with >= 1 row'})
             try:
                 batch = rows_to_batch(session.schema, rows)
             except ValueError as exc:
-                self._reply(400, {"error": str(exc)})
-                return
+                return reply(400, {"error": str(exc)})
             try:
                 futures = [
                     server.engine.submit_row(batch.categorical[i],
                                              batch.sequences[i],
-                                             batch.mask[i])
+                                             batch.mask[i],
+                                             trace_parent=ingress)
                     for i in range(len(batch))
                 ]
                 logits = [f.result(timeout=server.request_timeout_s)
                           for f in futures]
             except EngineClosedError:
-                self._reply(503, {"error": "server is shutting down"})
-                return
+                return reply(503, {"error": "server is shutting down"})
             except (TimeoutError, FutureTimeoutError):
                 # concurrent.futures.TimeoutError only aliases the builtin
                 # from Python 3.11; catch both for the 3.10 CI lane.
-                self._reply(504, {"error": "scoring timed out"})
-                return
+                return reply(504, {"error": "scoring timed out"})
             except Exception as exc:  # model failure surfaced via futures
-                self._reply(500, {"error": f"scoring failed: {exc!r}"})
-                return
+                return reply(500, {"error": f"scoring failed: {exc!r}"})
             probs = session.probabilities(logits)
-            self._reply(200, {"model": session.model_name,
-                              "logits": [float(v) for v in logits],
-                              "probabilities": [float(p) for p in probs]})
+            return reply(200, {"model": session.model_name,
+                               "logits": [float(v) for v in logits],
+                               "probabilities": [float(p) for p in probs]})
 
     return Handler

@@ -10,6 +10,7 @@ batched.
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -111,6 +112,16 @@ class InferenceSession:
     @property
     def model_name(self) -> str:
         return str(self.manifest["model"])
+
+    def artifact_digest(self) -> str:
+        """Stable identity of the loaded weights: SHA-256 over the
+        manifest's per-array digests.  Fleet probes compare this across
+        replicas to confirm they serve the same artifact."""
+        h = hashlib.sha256()
+        for name in sorted(self.manifest.get("arrays", {})):
+            h.update(name.encode("utf-8"))
+            h.update(self.manifest["arrays"][name]["sha256"].encode("ascii"))
+        return h.hexdigest()
 
     def score_batch(self, batch: Batch) -> np.ndarray:
         """Logits for ``batch`` — deterministic, eval-mode, gradient-free."""

@@ -2,6 +2,8 @@
 trace inspection, and its integration with the trainer and CLI."""
 
 import json
+import re
+import threading
 import time
 
 import numpy as np
@@ -19,6 +21,7 @@ from repro.obs import (
     ConsoleReporter,
     EMAMeter,
     EpochStartEvent,
+    FixedBucketHistogram,
     EvalEndEvent,
     JsonlTraceWriter,
     MetricRegistry,
@@ -35,6 +38,7 @@ from repro.obs import (
     summarize_trace,
     timed,
 )
+from repro.obs.metrics import prometheus_name
 from repro.training import TrainConfig, Trainer, run_experiment
 
 
@@ -148,6 +152,153 @@ class TestMetrics:
         assert set(dumped) == {"c", "e", "g", "h"}
         assert dumped["h"]["p50"] == 2.0
 
+    def test_streaming_histogram_exact_sum_and_count(self):
+        # sum/count are exact stream totals, independent of the sketch.
+        hist = StreamingHistogram("t", reservoir_size=8)
+        values = [float(v) for v in range(1000)]
+        for v in values:
+            hist.record(v)
+        assert hist.count == 1000
+        assert hist.sum == pytest.approx(sum(values))
+        assert len(hist._reservoir) == 8
+
+    def test_streaming_histogram_deterministic_across_instances(self):
+        # The replacement stream is seeded from a digest of the name, not
+        # salted hash(): two instances fed the same stream must agree,
+        # which is what makes identically-seeded runs bit-comparable.
+        a = StreamingHistogram("serve.latency_ms", reservoir_size=16)
+        b = StreamingHistogram("serve.latency_ms", reservoir_size=16)
+        rng = np.random.default_rng(7)
+        for v in rng.normal(size=500):
+            a.record(v)
+            b.record(v)
+        assert a._reservoir == b._reservoir
+        assert a.p50 == b.p50
+
+    def test_fixed_bucket_histogram_semantics(self):
+        hist = FixedBucketHistogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.1, 0.5, 2.0):   # 0.1 is inclusive (le semantics)
+            hist.record(v)
+        assert hist.cumulative() == [(0.1, 2), (1.0, 3), (float("inf"), 4)]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(2.65)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"0.1": 2, "1.0": 3, "+Inf": 4}
+        json.dumps(snap)
+
+    def test_fixed_bucket_histogram_validation(self):
+        with pytest.raises(ValueError):
+            FixedBucketHistogram("h", buckets=())
+        with pytest.raises(ValueError):
+            FixedBucketHistogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            FixedBucketHistogram("h", buckets=(2.0, 1.0))
+
+    def test_fixed_histogram_registry_accessor(self):
+        registry = MetricRegistry()
+        hist = registry.fixed_histogram("serve.lat", buckets=(0.5, 1.0))
+        assert registry.fixed_histogram("serve.lat") is hist
+        with pytest.raises(TypeError):
+            registry.histogram("serve.lat")
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(\{(?P<labels>[^}]*)\})? (?P<value>\S+)$")
+
+
+def parse_exposition(text):
+    """Minimal Prometheus text-format (v0.0.4) parser for round-tripping.
+
+    Validates line shape, metric-name charset, and that every sample
+    belongs to a family announced by a preceding ``# TYPE`` comment.
+    Returns ``(types, samples)`` where samples map name -> [(labels, value)].
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    types: dict[str, str] = {}
+    samples: dict[str, list] = {}
+    for line in text.splitlines():
+        if not line:
+            continue                       # blank lines are ignorable
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ")
+            assert kind in ("counter", "gauge", "summary", "histogram")
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unexpected comment: {line!r}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name, value = match.group("name"), float(match.group("value"))
+        labels = dict(
+            item.split("=", 1) for item in
+            (match.group("labels") or "").split(",") if item)
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                family = name[:-len(suffix)]
+        assert family in types, f"sample {name!r} precedes its # TYPE"
+        samples.setdefault(name, []).append((labels, value))
+    return types, samples
+
+
+class TestPrometheusExposition:
+    def test_name_sanitisation(self):
+        assert prometheus_name("serve.latency_ms") == "serve_latency_ms"
+        assert (prometheus_name("serve.http.healthz.requests")
+                == "serve_http_healthz_requests")
+        assert prometheus_name("a-b") == "a_b"
+        assert prometheus_name("9lives") == "_9lives"
+        assert prometheus_name("ok:colon") == "ok:colon"
+
+    def _registry(self):
+        registry = MetricRegistry()
+        registry.counter("serve.requests").inc(5)
+        registry.gauge("serve.queue_depth").set(2)
+        registry.gauge("serve.unset")          # None: must be omitted
+        registry.ema("train.loss").update(0.7)
+        reservoir = registry.histogram("serve.latency_ms")
+        fixed = registry.fixed_histogram("serve.latency_seconds",
+                                         buckets=(0.01, 0.1, 1.0))
+        for v in (0.004, 0.05, 0.05, 0.4, 3.0):
+            reservoir.record(v * 1000.0)
+            fixed.record(v)
+        return registry
+
+    def test_round_trips_through_exposition_parser(self):
+        types, samples = parse_exposition(self._registry().render_prometheus())
+        assert types["serve_requests_total"] == "counter"
+        assert types["serve_queue_depth"] == "gauge"
+        assert types["train_loss"] == "gauge"
+        assert types["serve_latency_ms"] == "summary"
+        assert types["serve_latency_seconds"] == "histogram"
+        assert "serve_unset" not in types
+
+        assert samples["serve_requests_total"] == [({}, 5.0)]
+        assert samples["serve_queue_depth"] == [({}, 2.0)]
+        quantiles = {labels["quantile"]: value
+                     for labels, value in samples["serve_latency_ms"]}
+        assert set(quantiles) == {'"0.5"', '"0.9"', '"0.95"', '"0.99"'}
+        assert samples["serve_latency_ms_count"] == [({}, 5.0)]
+        assert samples["serve_latency_ms_sum"][0][1] == pytest.approx(3504.0)
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        _, samples = parse_exposition(self._registry().render_prometheus())
+        buckets = samples["serve_latency_seconds_bucket"]
+        les = [labels["le"] for labels, _ in buckets]
+        assert les == ['"0.01"', '"0.1"', '"1.0"', '"+Inf"']
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts)          # cumulative => monotone
+        assert counts == [1.0, 3.0, 4.0, 5.0]
+        assert counts[-1] == samples["serve_latency_seconds_count"][0][1]
+
+    def test_empty_registry_renders_empty_exposition(self):
+        types, samples = parse_exposition(MetricRegistry().render_prometheus())
+        assert types == {} and samples == {}
+
 
 # ---------------------------------------------------------------------------
 # Phase timers
@@ -231,6 +382,44 @@ class TestTimers:
         assert snap["a"]["count"] == 1
         assert snap["a"]["share"] == pytest.approx(1.0)
         json.dumps(snap)
+
+    def test_four_threads_keep_independent_phase_stacks(self):
+        # Regression test for the shared-stack bug: the active-phase stack
+        # must be per-thread.  With one shared stack, concurrent push/pop
+        # interleaves across threads, misattributing child time — visible
+        # as negative self_s and corrupted nesting.  Four threads nest
+        # phases into ONE collector; accounting must stay consistent.
+        timings = PhaseTimings()
+        iterations, errors = 25, []
+
+        def work():
+            try:
+                for _ in range(iterations):
+                    with phase("outer"):
+                        time.sleep(0.0002)
+                        with phase("inner"):
+                            time.sleep(0.0002)
+            except Exception as exc:     # pragma: no cover - failure detail
+                errors.append(exc)
+
+        with collect(timings):
+            threads = [threading.Thread(target=work, name=f"timer-w{i}")
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert errors == []
+        outer, inner = timings.stats["outer"], timings.stats["inner"]
+        assert outer.count == 4 * iterations
+        assert inner.count == 4 * iterations
+        # Nesting only exists within a thread, so every inner is a child
+        # of some outer and self-time can never go negative.
+        assert outer.self_s >= 0.0
+        assert inner.self_s >= 0.0
+        assert outer.child_s == pytest.approx(inner.total_s)
+        assert outer.total_s >= inner.total_s
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,7 @@ from repro.data import InterestWorld, InterestWorldConfig, build_ctr_data
 from repro.data.schema import DatasetSchema
 from repro.models import create_model
 from repro.nn.serialization import load_checkpoint, save_checkpoint
-from repro.obs import JsonlTraceWriter, MetricRegistry
+from repro.obs import JsonlTraceWriter, MetricRegistry, SpanRecorder, Tracer
 from repro.serving import (
     PARITY_BLOCK,
     ArtifactError,
@@ -327,6 +327,22 @@ def _stub_row(value):
             np.ones(4, dtype=bool))
 
 
+class Recorder:
+    """Observer capturing the three serving events, in arrival order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_request_received(self, event):
+        self.events.append(event)
+
+    def on_batch_flushed(self, event):
+        self.events.append(event)
+
+    def on_request_completed(self, event):
+        self.events.append(event)
+
+
 class TestScoringEngine:
     def test_constructor_validation(self):
         stub = StubSession()
@@ -468,12 +484,19 @@ class TestGoldenParity:
         np.testing.assert_array_equal(logits, reference[indices])
 
 
-def _get(url):
+def _get(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
     try:
-        with urllib.request.urlopen(url, timeout=10) as resp:
+        with urllib.request.urlopen(request, timeout=10) as resp:
             return resp.status, json.loads(resp.read())
     except urllib.error.HTTPError as exc:
         return exc.code, json.loads(exc.read())
+
+
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode("utf-8")
 
 
 def _post(url, payload):
@@ -503,12 +526,50 @@ class TestHTTPServer:
         assert status == 200
         assert payload["status"] == "ok"
         assert payload["model"] == "DIN"
+        # Fleet-probe fields: which artifact, which backend, how loaded.
+        assert payload["ready"] is True
+        assert payload["draining"] is False
+        assert payload["queue_depth"] >= 0
+        assert payload["uptime_s"] >= 0
+        assert len(payload["artifact_digest"]) == 64
+        assert payload["backend"] in ("reference", "fused")
 
-    def test_metrics(self, server):
-        status, payload = _get(server.url + "/metrics")
+    def test_healthz_digest_matches_session(self, session, server):
+        _, payload = _get(server.url + "/healthz")
+        assert payload["artifact_digest"] == session.artifact_digest()
+
+    def test_metrics_prometheus_by_default(self, server):
+        # Prime the registry so the exposition has serving series.
+        _get(server.url + "/healthz")
+        status, content_type, text = _get_text(server.url + "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert "# TYPE serve_uptime_seconds gauge" in text
+        assert "serve_http_healthz_requests_total" in text
+
+    def test_metrics_json_route_and_accept_header(self, server):
+        status, payload = _get(server.url + "/metrics.json")
         assert status == 200
         assert payload["uptime_s"] >= 0
         assert "cache" in payload and "metrics" in payload
+        status, negotiated = _get(server.url + "/metrics",
+                                  headers={"Accept": "application/json"})
+        assert status == 200
+        assert "cache" in negotiated and "metrics" in negotiated
+
+    def test_draining_healthz_is_503(self, session):
+        server = ScoringServer(session, port=0).start()
+        try:
+            # Close the engine only: the HTTP front end still answers, which
+            # is exactly the draining window a load balancer probes.
+            server.engine.close(drain=True)
+            status, payload = _get(server.url + "/healthz")
+            assert status == 503
+            assert payload["status"] == "draining"
+            assert payload["ready"] is False
+        finally:
+            server.close(drain=True)
 
     def test_score_matches_offline(self, data, session, server):
         indices = [0, 2, 7]
@@ -644,6 +705,149 @@ class TestServingEvents:
         assert snapshot["serve.requests"]["value"] == 4.0
         assert snapshot["serve.latency_ms"]["count"] == 4
         assert snapshot["serve.batch_size"]["count"] >= 1
+        # Prometheus-shaped companions to the reservoir histograms.
+        assert snapshot["serve.latency_seconds"]["count"] == 4
+        assert snapshot["serve.queue_wait_seconds"]["count"] == 4
+        assert snapshot["serve.cache_hit_ratio"]["value"] == 0.0
+
+
+class TestServingSpans:
+    """Tentpole: span context survives the queue boundary — the ingress
+    context captured on the submitting thread reappears in spans and events
+    emitted from engine worker threads."""
+
+    def _run_one(self, tracer, stub=None, rows=1):
+        recorder = Recorder()
+        engine = ScoringEngine(stub or StubSession(), max_batch_size=rows,
+                               max_wait_ms=1.0, cache_size=64,
+                               tracer=tracer, observers=[recorder])
+        ingress = tracer.make_context()
+        futures = [engine.submit_row(*_stub_row(v), trace_parent=ingress)
+                   for v in range(rows)]
+        for future in futures:
+            future.result(timeout=10.0)
+        engine.close(drain=True)
+        return ingress, recorder
+
+    def test_trace_id_propagates_to_worker_thread_events(self):
+        sink = SpanRecorder()
+        tracer = Tracer(sink)
+        ingress, recorder = self._run_one(tracer, rows=3)
+        received = [e for e in recorder.events
+                    if type(e).kind == "request_received"]
+        flushed = [e for e in recorder.events
+                   if type(e).kind == "batch_flushed"]
+        completed = [e for e in recorder.events
+                     if type(e).kind == "request_completed"]
+        assert {e.trace_id for e in received} == {ingress.trace_id}
+        assert {e.trace_id for e in flushed} == {ingress.trace_id}
+        assert {e.trace_id for e in completed} == {ingress.trace_id}
+        # batch_flushed/request_completed are emitted by the worker thread,
+        # yet carry the submitting thread's trace — explicit handoff worked.
+        worker_spans = [r for r in sink.by_trace(ingress.trace_id)
+                        if r["thread"].startswith("scoring-worker")]
+        assert worker_spans
+
+    def test_request_spans_parented_under_ingress(self):
+        sink = SpanRecorder()
+        tracer = Tracer(sink)
+        ingress, _ = self._run_one(tracer, rows=2)
+        requests = sink.by_name("serve.request")
+        assert len(requests) == 2
+        assert all(r["parent_id"] == ingress.span_id for r in requests)
+        request_ids = {r["span_id"] for r in requests}
+        for name in ("serve.queue_wait", "serve.forward"):
+            children = sink.by_name(name)
+            assert len(children) == 2
+            assert all(c["parent_id"] in request_ids for c in children)
+            assert all(c["trace_id"] == ingress.trace_id for c in children)
+
+    def test_stage_spans_sum_to_request_latency(self):
+        # Acceptance bound: queue_wait + forward within 10% of the request
+        # span.  A slow forward makes the bound meaningful (the uncovered
+        # gap is batch assembly + response bookkeeping, microseconds).
+        sink = SpanRecorder()
+        tracer = Tracer(sink)
+        self._run_one(tracer, stub=StubSession(delay_s=0.05))
+        request = sink.by_name("serve.request")[0]
+        stages = (sink.by_name("serve.queue_wait")[0]["duration_ms"]
+                  + sink.by_name("serve.forward")[0]["duration_ms"])
+        assert stages <= request["duration_ms"] * 1.001
+        assert stages == pytest.approx(request["duration_ms"], rel=0.10)
+
+    def test_cache_hit_gets_root_span_only(self):
+        sink = SpanRecorder()
+        tracer = Tracer(sink)
+        engine = ScoringEngine(StubSession(), max_batch_size=1,
+                               max_wait_ms=1.0, cache_size=64, tracer=tracer)
+        engine.submit_row(*_stub_row(5)).result(timeout=10.0)
+        before = len(sink.by_name("serve.queue_wait"))
+        hit = engine.submit_row(*_stub_row(5))
+        assert hit.done()
+        engine.close(drain=True)
+        cached = [r for r in sink.by_name("serve.request")
+                  if r.get("attrs", {}).get("cached")]
+        assert len(cached) == 1
+        assert len(sink.by_name("serve.queue_wait")) == before
+
+    def test_unsampled_traces_emit_nothing(self):
+        sink = SpanRecorder()
+        tracer = Tracer(sink, sample_rate=0.0)
+        engine = ScoringEngine(StubSession(), max_batch_size=1,
+                               max_wait_ms=1.0, tracer=tracer)
+        engine.submit_row(*_stub_row(1)).result(timeout=10.0)
+        engine.close(drain=True)
+        assert sink.records == []
+        assert tracer.traces_started >= 1
+        assert tracer.traces_sampled == 0
+
+    def test_error_path_still_closes_request_span(self):
+        sink = SpanRecorder()
+        tracer = Tracer(sink)
+        stub = StubSession()
+        stub.fail = True
+        engine = ScoringEngine(stub, max_batch_size=1, max_wait_ms=1.0,
+                               cache_size=0, tracer=tracer)
+        with pytest.raises(RuntimeError):
+            engine.submit_row(*_stub_row(1)).result(timeout=10.0)
+        engine.close(drain=True)
+        failed = sink.by_name("serve.request")
+        assert len(failed) == 1
+        assert "injected" in failed[0]["attrs"]["error"]
+
+    def test_no_tracer_requests_carry_no_context(self):
+        # The disabled fast path: without a tracer, submissions never
+        # allocate span contexts (one attribute load + None check).
+        engine = ScoringEngine(StubSession(), max_batch_size=1,
+                               max_wait_ms=1.0)
+        future = engine.submit_row(*_stub_row(1))
+        future.result(timeout=10.0)
+        engine.close(drain=True)
+        assert engine.tracer is None
+
+
+@pytest.mark.slow
+@pytest.mark.serving
+class TestHTTPTracing:
+    def test_ingress_span_parents_engine_spans(self, data, session):
+        sink = SpanRecorder()
+        tracer = Tracer(sink)
+        with ScoringServer(session, port=0, max_batch_size=8,
+                           max_wait_ms=1.0, tracer=tracer) as server:
+            status, _ = _post(server.url + "/score",
+                              {"rows": _row_dicts(data.test, [0, 1])})
+            assert status == 200
+        ingress = sink.by_name("http.request")
+        assert len(ingress) == 1
+        assert ingress[0]["parent_id"] is None
+        assert ingress[0]["attrs"]["status"] == 200
+        requests = sink.by_name("serve.request")
+        assert len(requests) == 2
+        assert all(r["parent_id"] == ingress[0]["span_id"] for r in requests)
+        assert all(r["trace_id"] == ingress[0]["trace_id"] for r in requests)
+        # The ingress span covers its children.
+        assert all(r["duration_ms"] <= ingress[0]["duration_ms"] * 1.001
+                   for r in requests)
 
 
 class TestSchemaRoundTrip:
