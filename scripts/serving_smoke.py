@@ -8,6 +8,8 @@ Exercises the full shipping path exactly as an operator would:
 3. 100 ``POST /score`` requests are sent; every response must be a 200 with
    finite logits, and the p99 end-to-end latency must stay under a generous
    bound (the bound catches pathological stalls, not performance drift).
+   Halfway through, ``POST /admin/reload`` hot-swaps the model mid-traffic —
+   the swap must succeed and no request around it may fail.
 4. SIGTERM must drain in-flight work and exit with status 0.
 
 Usage: ``python scripts/serving_smoke.py`` from the repository root (the
@@ -89,6 +91,17 @@ def score(url: str, row: dict) -> tuple[dict, float]:
     return payload, (time.monotonic() - start) * 1000.0
 
 
+def reload_model(url: str, artifact: Path) -> dict:
+    body = json.dumps({"artifact": str(artifact)}).encode()
+    request = urllib.request.Request(
+        url + "/admin/reload", data=body,
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=30) as resp:
+        if resp.status != 200:
+            raise SystemExit(f"/admin/reload returned {resp.status}")
+        return json.loads(resp.read())
+
+
 def p99(values: list[float]) -> float:
     ranked = sorted(values)
     return ranked[min(len(ranked) - 1, int(0.99 * len(ranked)))]
@@ -116,6 +129,11 @@ def main() -> int:
         rows = request_rows()
         latencies: list[float] = []
         for i in range(NUM_REQUESTS):
+            if i == NUM_REQUESTS // 2:
+                swap = reload_model(url, artifact)
+                print(f"[smoke] hot-swapped mid-traffic in "
+                      f"{swap['swap_ms']:.1f}ms "
+                      f"({swap['old_version']} -> {swap['new_version']})")
             payload, latency_ms = score(url, rows[i % len(rows)])
             logit = payload["logits"][0]
             prob = payload["probabilities"][0]
@@ -135,6 +153,9 @@ def main() -> int:
         with urllib.request.urlopen(url + "/metrics.json", timeout=5) as resp:
             metrics = json.loads(resp.read())
         print(f"[smoke] cache: {metrics['cache']}")
+        if metrics["fleet"]["swaps"] != 2:   # initial deploy + hot swap
+            raise SystemExit(f"expected 2 swaps (deploy + reload), fleet "
+                             f"reports {metrics['fleet']}")
 
         with urllib.request.urlopen(url + "/metrics", timeout=5) as resp:
             content_type = resp.headers.get("Content-Type", "")

@@ -94,12 +94,18 @@ from .obs import (
 from .nn.backend import BACKEND_NAMES, set_backend
 from .resilience import NumericalAnomalyError, TrainingInterrupted
 from .serving import (
+    AdmissionController,
     ArtifactError,
+    CircuitBreaker,
     InferenceSession,
+    ModelRegistry,
+    RegistryError,
+    RetryPolicy,
     ScoringEngine,
     ScoringServer,
     dataset_rows,
     export_artifact,
+    run_http_load,
     run_load,
 )
 from .training import TrainConfig, run_experiment
@@ -244,19 +250,88 @@ def build_parser() -> argparse.ArgumentParser:
                             "4096)")
 
     serve = sub.add_parser(
-        "serve", help="serve POST /score from an exported artifact")
+        "serve", help="serve POST /score from an exported artifact or a "
+                      "model registry")
     add_backend(serve)
-    serve.add_argument("--artifact", metavar="DIR", required=True)
+    serve.add_argument("--artifact", metavar="DIR", default=None,
+                       help="exported artifact directory (or use --registry)")
+    serve.add_argument("--registry", metavar="DIR", default=None,
+                       help="model registry: serve its production version "
+                            "and honour its shadow/challenger roles; "
+                            "enables POST /admin/reload by version")
+    serve.add_argument("--shadow", metavar="VERSION", default=None,
+                       help="score this registry version off the critical "
+                            "path for every request (requires --registry)")
+    serve.add_argument("--ab", metavar="VERSION:FRACTION", default=None,
+                       help="A/B-route FRACTION of requests to this "
+                            "registry version (requires --registry)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8321,
                        help="TCP port (0 picks a free one; default 8321)")
     add_engine_options(serve)
+    serve.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                       help="admission control: shed (429 + Retry-After) "
+                            "when more than N rows are in flight "
+                            "(default: unbounded)")
+    serve.add_argument("--request-timeout-s", type=float, default=30.0,
+                       metavar="S",
+                       help="server-side cap on one request's end-to-end "
+                            "budget; X-Deadline-Ms can only shorten it "
+                            "(default 30)")
+    serve.add_argument("--breaker-threshold", type=float, default=None,
+                       metavar="F",
+                       help="enable the circuit breaker: trip to a "
+                            "degraded 503 /healthz when the failure "
+                            "fraction over the window reaches F")
+    serve.add_argument("--breaker-window-s", type=float, default=10.0,
+                       metavar="S", help="breaker sliding window "
+                                         "(default 10s)")
+    serve.add_argument("--breaker-cooldown-s", type=float, default=5.0,
+                       metavar="S", help="breaker open-state cooldown "
+                                         "before a probe (default 5s)")
+    serve.add_argument("--breaker-min-requests", type=int, default=10,
+                       metavar="N", help="minimum outcomes in the window "
+                                         "before the breaker may trip "
+                                         "(default 10)")
     serve.add_argument("--log-jsonl", metavar="PATH", default=None,
                        help="write serving events (request/batch/completion) "
                             "as a JSONL trace")
     serve.add_argument("--verbose", action="store_true",
                        help="print per-flush progress lines")
     add_trace_options(serve)
+
+    registry = sub.add_parser(
+        "registry", help="manage a versioned model registry "
+                         "(publish/promote/shadow/ab/list)")
+    registry.add_argument("--registry", metavar="DIR", required=True,
+                          help="registry root directory (created on first "
+                               "publish)")
+    registry_sub = registry.add_subparsers(dest="registry_command",
+                                           required=True)
+    reg_publish = registry_sub.add_parser(
+        "publish", help="copy + verify an exported artifact into the "
+                        "registry as an immutable version")
+    reg_publish.add_argument("--artifact", metavar="DIR", required=True)
+    reg_publish.add_argument("--version", metavar="V", default=None,
+                             help="version name (default: next vN)")
+    reg_publish.add_argument("--promote", action="store_true",
+                             help="also make it the production version")
+    reg_promote = registry_sub.add_parser(
+        "promote", help="make a published version the production model")
+    reg_promote.add_argument("--version", metavar="V", required=True)
+    reg_shadow = registry_sub.add_parser(
+        "shadow", help="set (or clear) the shadow version")
+    reg_shadow.add_argument("--version", metavar="V", default=None,
+                            help="omit to clear the shadow role")
+    reg_ab = registry_sub.add_parser(
+        "ab", help="set (or clear) the A/B challenger and its traffic "
+                   "fraction")
+    reg_ab.add_argument("--version", metavar="V", default=None,
+                        help="omit to clear the challenger role")
+    reg_ab.add_argument("--fraction", type=float, default=0.1,
+                        help="fraction of requests routed to the "
+                             "challenger (default 0.1)")
+    registry_sub.add_parser("list", help="print versions and role state")
 
     predict = sub.add_parser(
         "predict", help="score rows offline through the serving session")
@@ -297,6 +372,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--repeat-fraction", type=float, default=0.2,
                              help="fraction of re-sent rows, to exercise "
                                   "the cache (default 0.2)")
+    bench_serve.add_argument("--reload-under-load", action="store_true",
+                             help="fleet scenario: drive a live HTTP server "
+                                  "and hot-swap the model --swaps times "
+                                  "mid-run; the report must show zero "
+                                  "dropped and zero 5xx responses")
+    bench_serve.add_argument("--swaps", type=int, default=3, metavar="N",
+                             help="hot-swap reloads during "
+                                  "--reload-under-load (default 3)")
     add_engine_options(bench_serve)
     add_trace_options(bench_serve)
     add_profile_option(bench_serve)
@@ -627,8 +710,42 @@ def _load_session(artifact: str) -> InferenceSession:
         raise SystemExit(f"cannot load artifact {artifact}: {exc}")
 
 
+def _parse_ab(value: str) -> tuple[str, float]:
+    version, sep, fraction = value.partition(":")
+    if not sep or not version:
+        raise SystemExit("--ab expects VERSION:FRACTION, e.g. v2:0.1")
+    try:
+        return version, float(fraction)
+    except ValueError:
+        raise SystemExit(f"--ab fraction {fraction!r} is not a number")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    session = _load_session(args.artifact)
+    if (args.artifact is None) == (args.registry is None):
+        raise SystemExit("serve: pass exactly one of --artifact or "
+                         "--registry")
+    if (args.shadow or args.ab) and not args.registry:
+        raise SystemExit("serve: --shadow/--ab need --registry (roles name "
+                         "registry versions)")
+    model_registry = None
+    version = "v0"
+    if args.registry:
+        model_registry = ModelRegistry(args.registry)
+        try:
+            version = model_registry.production()
+            session = _load_session(model_registry.path(version))
+        except RegistryError as exc:
+            raise SystemExit(f"serve: {exc}")
+    else:
+        session = _load_session(args.artifact)
+    admission = (AdmissionController(args.max_inflight)
+                 if args.max_inflight else None)
+    breaker = None
+    if args.breaker_threshold is not None:
+        breaker = CircuitBreaker(failure_threshold=args.breaker_threshold,
+                                 min_requests=args.breaker_min_requests,
+                                 window_s=args.breaker_window_s,
+                                 cooldown_s=args.breaker_cooldown_s)
     observers = _build_observers(args)
     tracer, owned_writer = _build_tracer(args, observers)
     server = ScoringServer(
@@ -636,7 +753,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
         num_workers=args.workers, cache_size=args.cache_size,
         registry=MetricRegistry(), observers=observers.observers,
-        tracer=tracer)
+        tracer=tracer, version=version, admission=admission,
+        breaker=breaker, model_registry=model_registry,
+        request_timeout_s=args.request_timeout_s)
+    if model_registry is not None:
+        state = model_registry.state()
+        shadow = args.shadow or state.get("shadow")
+        if shadow:
+            server.router.set_shadow(
+                _load_session(model_registry.path(shadow)), shadow)
+        if args.ab:
+            challenger, fraction = _parse_ab(args.ab)
+        else:
+            challenger = state.get("challenger")
+            fraction = state.get("challenger_fraction", 0.0)
+        if challenger:
+            server.router.set_challenger(
+                _load_session(model_registry.path(challenger)), challenger,
+                fraction)
     stop = threading.Event()
 
     def request_stop(signum, frame) -> None:
@@ -708,10 +842,104 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_registry(args: argparse.Namespace) -> int:
+    registry = ModelRegistry(args.registry)
+    try:
+        if args.registry_command == "publish":
+            version = registry.publish(args.artifact, version=args.version,
+                                       promote=args.promote)
+            role = " (promoted to production)" if args.promote else ""
+            print(f"published {args.artifact} as {version}{role}")
+        elif args.registry_command == "promote":
+            registry.promote(args.version)
+            print(f"production is now {args.version}")
+        elif args.registry_command == "shadow":
+            registry.set_shadow(args.version)
+            print(f"shadow is now {args.version or 'cleared'}")
+        elif args.registry_command == "ab":
+            registry.set_challenger(args.version, args.fraction)
+            if args.version:
+                print(f"challenger {args.version} takes "
+                      f"{args.fraction:.0%} of traffic")
+            else:
+                print("challenger cleared")
+        else:  # list
+            state = registry.state()
+            print(f"registry {registry.root}")
+            print(f"  production: {state.get('production')}")
+            print(f"  shadow:     {state.get('shadow')}")
+            challenger = state.get("challenger")
+            if challenger:
+                print(f"  challenger: {challenger} "
+                      f"({state.get('challenger_fraction', 0.0):.0%})")
+            else:
+                print("  challenger: None")
+            for version in registry.versions():
+                info = registry.describe(version)
+                print(f"  {version}: {info['model']} "
+                      f"digest={info['digest'][:12]}… "
+                      f"dataset={info['dataset']}")
+    except (RegistryError, ArtifactError, OSError) as exc:
+        print(f"registry: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _bench_reload_under_load(args: argparse.Namespace, session, rows) -> int:
+    """Hot-swap scenario: live HTTP server + open-loop load + N reloads.
+
+    The pass criterion is printed in the report: zero dropped requests and
+    zero 5xx responses across every swap — a reload is only a reload if no
+    caller can tell when it happened.
+    """
+    results: dict = {}
+    with ScoringServer(session, port=0,
+                       max_batch_size=args.max_batch_size,
+                       max_wait_ms=args.max_wait_ms,
+                       num_workers=args.workers,
+                       cache_size=args.cache_size) as server:
+        load_report: dict = {}
+
+        def drive() -> None:
+            load_report.update(run_http_load(
+                server.url, rows, target_qps=args.qps,
+                num_requests=args.requests,
+                repeat_fraction=args.repeat_fraction, seed=args.seed,
+                retry=RetryPolicy(seed=args.seed)))
+
+        loader = threading.Thread(target=drive, name="bench-http-load")
+        loader.start()
+        duration_s = args.requests / args.qps
+        interval_s = duration_s / (args.swaps + 1)
+        swaps = []
+        for i in range(args.swaps):
+            loader.join(timeout=interval_s)
+            if not loader.is_alive():
+                break
+            swap = server.reload(artifact=args.artifact)
+            swaps.append(swap)
+        loader.join()
+        results = {
+            "scenario": "reload-under-load",
+            "swaps_requested": args.swaps,
+            "swaps_completed": len(swaps),
+            "swaps": swaps,
+            "load": load_report,
+            "pass": (len(swaps) >= args.swaps
+                     and load_report.get("ok", 0) > 0
+                     and load_report.get("dropped") == 0
+                     and load_report.get("http_5xx") == 0),
+        }
+    print(json.dumps(results, indent=2))
+    return 0 if results["pass"] else 1
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     session = _load_session(args.artifact)
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     rows = dataset_rows(data.splits[args.split])
+    if args.reload_under_load:
+        return _bench_reload_under_load(args, session, rows)
     tracer, owned_writer = _build_tracer(args)
     engine = ScoringEngine(
         session, max_batch_size=args.max_batch_size,
@@ -770,7 +998,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {"datasets": _cmd_datasets, "train": _cmd_train,
                 "compare": _cmd_compare, "inspect-run": _cmd_inspect_run,
                 "export": _cmd_export, "serve": _cmd_serve,
-                "predict": _cmd_predict, "bench-serve": _cmd_bench_serve,
+                "predict": _cmd_predict, "registry": _cmd_registry,
+                "bench-serve": _cmd_bench_serve,
                 "bench-ops": _cmd_bench_ops,
                 "bench-pipeline": _cmd_bench_pipeline}
     return handlers[args.command](args)

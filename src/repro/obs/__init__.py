@@ -17,9 +17,11 @@ from .events import (
     CheckpointWrittenEvent,
     EpochStartEvent,
     EvalEndEvent,
+    ModelSwappedEvent,
     ObserverList,
     RequestCompletedEvent,
     RequestReceivedEvent,
+    RequestShedEvent,
     RunEndEvent,
     RunObserver,
     RunStartEvent,
@@ -65,6 +67,7 @@ __all__ = [
     "CheckpointWrittenEvent", "CheckpointRestoredEvent",
     "AnomalyDetectedEvent",
     "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
+    "ModelSwappedEvent", "RequestShedEvent",
     "ShardLoadedEvent",
     "Counter", "Gauge", "EMAMeter", "StreamingHistogram",
     "FixedBucketHistogram", "MetricRegistry", "DEFAULT_LATENCY_BUCKETS_S",

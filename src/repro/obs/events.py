@@ -23,6 +23,7 @@ __all__ = [
     "CheckpointWrittenEvent", "CheckpointRestoredEvent",
     "AnomalyDetectedEvent",
     "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
+    "ModelSwappedEvent", "RequestShedEvent",
     "ShardLoadedEvent",
     "RunObserver", "BaseObserver", "ObserverList", "CallbackObserver",
 ]
@@ -286,6 +287,52 @@ class RequestCompletedEvent:
 
 
 @dataclass
+class ModelSwappedEvent:
+    """Emitted after a hot-swap reload switched the production model.
+
+    The swap is atomic from the request path's perspective: every request
+    admitted to the old engine drained to completion before this event is
+    emitted.
+    """
+
+    kind: ClassVar[str] = "model_swapped"
+
+    old_version: str | None
+    new_version: str
+    digest: str           # artifact digest of the newly serving model
+    swap_ms: float
+
+    def payload(self) -> dict[str, Any]:
+        return {"old_version": self.old_version,
+                "new_version": self.new_version,
+                "digest": self.digest,
+                "swap_ms": float(self.swap_ms)}
+
+
+@dataclass
+class RequestShedEvent:
+    """Emitted when admission control rejects a request unscored.
+
+    ``reason`` names the gate that refused it: ``queue_full`` (bounded
+    in-flight budget, HTTP 429) or ``breaker_open`` (circuit breaker
+    fast-fail, HTTP 503).
+    """
+
+    kind: ClassVar[str] = "request_shed"
+
+    reason: str
+    queue_depth: int
+    retry_after_s: float | None = None
+
+    def payload(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"reason": self.reason,
+                               "queue_depth": int(self.queue_depth)}
+        if self.retry_after_s is not None:
+            out["retry_after_s"] = float(self.retry_after_s)
+        return out
+
+
+@dataclass
 class ShardLoadedEvent:
     """Emitted when the sharded data pipeline reads a shard from disk.
 
@@ -352,6 +399,12 @@ class BaseObserver:
         pass
 
     def on_request_completed(self, event: RequestCompletedEvent) -> None:
+        pass
+
+    def on_model_swapped(self, event: ModelSwappedEvent) -> None:
+        pass
+
+    def on_request_shed(self, event: RequestShedEvent) -> None:
         pass
 
     def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
@@ -459,6 +512,18 @@ class ObserverList(BaseObserver):
     def on_request_completed(self, event: RequestCompletedEvent) -> None:
         for obs in self.observers:
             hook = getattr(obs, "on_request_completed", None)
+            if hook is not None:
+                hook(event)
+
+    def on_model_swapped(self, event: ModelSwappedEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_model_swapped", None)
+            if hook is not None:
+                hook(event)
+
+    def on_request_shed(self, event: RequestShedEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_request_shed", None)
             if hook is not None:
                 hook(event)
 

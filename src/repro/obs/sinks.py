@@ -19,8 +19,10 @@ from .events import (
     CheckpointWrittenEvent,
     EpochStartEvent,
     EvalEndEvent,
+    ModelSwappedEvent,
     RequestCompletedEvent,
     RequestReceivedEvent,
+    RequestShedEvent,
     RunEndEvent,
     RunStartEvent,
     ShardLoadedEvent,
@@ -105,6 +107,12 @@ class JsonlTraceWriter(BaseObserver):
         self._write(event.kind, event.payload())
 
     def on_request_completed(self, event: RequestCompletedEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_model_swapped(self, event: ModelSwappedEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_request_shed(self, event: RequestShedEvent) -> None:
         self._write(event.kind, event.payload())
 
     def on_shard_loaded(self, event: ShardLoadedEvent) -> None:

@@ -1,7 +1,8 @@
-"""Online inference: frozen artifacts, micro-batched scoring, HTTP serving.
+"""Online inference: frozen artifacts, micro-batched scoring, HTTP serving,
+and fleet operations (hot-swap registry, admission control, A/B routing).
 
-The subsystem turns a trained model into production traffic-ready scores in
-four layers (see DESIGN.md §"Serving"):
+The subsystem turns a trained model into production traffic-ready scores
+(see DESIGN.md §"Serving" and §"Fleet operations"):
 
 * :mod:`~repro.serving.artifact` — ``export_artifact`` freezes weights +
   manifest (schema, config, per-array SHA-256) to a directory;
@@ -11,13 +12,34 @@ four layers (see DESIGN.md §"Serving"):
   forward, bit-identical to offline ``training.evaluate``.
 * :mod:`~repro.serving.batcher` — :class:`ScoringEngine` coalesces
   single-row requests into micro-batches (``max_batch_size`` /
-  ``max_wait_ms``) with an LRU row cache and N worker threads.
+  ``max_wait_ms``) with an LRU row cache, per-request deadlines, and N
+  worker threads.
+* :mod:`~repro.serving.registry` — :class:`ModelRegistry` stores immutable
+  versioned artifacts plus the production/shadow/challenger roles.
+* :mod:`~repro.serving.router` — :class:`ModelRouter` hot-swaps the
+  production engine with zero dropped requests and routes shadow / A/B
+  traffic with per-model metrics.
+* :mod:`~repro.serving.admission` — bounded in-flight budget (429 + ``Retry-
+  After``), deadline propagation, and a circuit breaker that degrades
+  ``/healthz`` under sustained failure.
 * :mod:`~repro.serving.server` / :mod:`~repro.serving.loadgen` —
-  :class:`ScoringServer` exposes ``POST /score`` + health/metrics with
-  graceful SIGTERM drain; ``run_load`` benchmarks the engine at a target
-  QPS (``repro bench-serve``).
+  :class:`ScoringServer` exposes ``POST /score`` + health/metrics/OpenAPI
+  + ``/admin/reload`` with graceful SIGTERM drain; ``run_load`` /
+  ``run_http_load`` benchmark the engine or a live server
+  (``repro bench-serve``), with jittered client-side retry.
+* :mod:`~repro.serving.openapi` — the HTTP contract as an OpenAPI 3.0
+  document, derived from the live schema; ground truth for the no-500s
+  fuzz harness.
 """
 
+from .admission import (
+    AdmissionController,
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ShedError,
+    parse_deadline_ms,
+)
 from .artifact import (
     ArtifactError,
     export_artifact,
@@ -26,7 +48,16 @@ from .artifact import (
 )
 from .batcher import EngineClosedError, LRUCache, ScoringEngine, row_key
 from .forward import PARITY_BLOCK, forward_logits, forward_probabilities
-from .loadgen import build_request_stream, dataset_rows, run_load
+from .loadgen import (
+    RetryPolicy,
+    build_request_stream,
+    dataset_rows,
+    run_http_load,
+    run_load,
+)
+from .openapi import build_openapi
+from .registry import ModelRegistry, RegistryError
+from .router import ModelRouter
 from .server import ScoringServer
 from .session import InferenceSession, rows_to_batch
 
@@ -34,7 +65,12 @@ __all__ = [
     "ArtifactError", "export_artifact", "load_artifact", "load_manifest",
     "EngineClosedError", "LRUCache", "ScoringEngine", "row_key",
     "PARITY_BLOCK", "forward_logits", "forward_probabilities",
-    "build_request_stream", "dataset_rows", "run_load",
+    "build_request_stream", "dataset_rows", "run_load", "run_http_load",
+    "RetryPolicy",
+    "AdmissionController", "CircuitBreaker", "CircuitOpenError",
+    "DeadlineExceededError", "ShedError", "parse_deadline_ms",
+    "ModelRegistry", "RegistryError", "ModelRouter",
+    "build_openapi",
     "ScoringServer",
     "InferenceSession", "rows_to_batch",
 ]

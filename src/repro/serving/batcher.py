@@ -41,6 +41,7 @@ from ..obs import (
     RequestReceivedEvent,
 )
 from ..obs.trace import SpanContext, Tracer
+from .admission import DeadlineExceededError
 
 __all__ = ["EngineClosedError", "ScoringEngine", "LRUCache", "row_key"]
 
@@ -99,12 +100,14 @@ class LRUCache:
 
 class _Request:
     __slots__ = ("request_id", "categorical", "sequences", "mask", "key",
-                 "future", "enqueued_at", "trace", "trace_parent_id")
+                 "future", "enqueued_at", "trace", "trace_parent_id",
+                 "deadline")
 
     def __init__(self, request_id: int, categorical, sequences, mask,
                  key: bytes | None,
                  trace: SpanContext | None = None,
-                 trace_parent_id: str | None = None):
+                 trace_parent_id: str | None = None,
+                 deadline: float | None = None):
         self.request_id = request_id
         self.categorical = categorical
         self.sequences = sequences
@@ -116,6 +119,9 @@ class _Request:
         self.trace_parent_id = trace_parent_id
         self.future: Future = Future()
         self.enqueued_at = time.monotonic()
+        # Absolute monotonic deadline; a request still queued past it is
+        # rejected by the flushing worker instead of scored.
+        self.deadline = deadline
 
 
 class ScoringEngine:
@@ -167,12 +173,20 @@ class ScoringEngine:
     # ------------------------------------------------------------------
     def submit_row(self, categorical: np.ndarray, sequences: np.ndarray,
                    mask: np.ndarray,
-                   trace_parent: SpanContext | None = None) -> Future:
+                   trace_parent: SpanContext | None = None,
+                   deadline: float | None = None) -> Future:
         """Queue one feature row; the future resolves to its logit (float).
 
         ``trace_parent`` links the request's spans under an ingress span
         (the HTTP handler's); with a tracer but no parent, the request
         starts its own trace (head-sampled).
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; if it
+        passes while the row is still queued, the future fails with
+        :class:`DeadlineExceededError` instead of being scored — expired
+        work is shed, not computed.  Callers may also ``cancel()`` the
+        future of a row they stopped waiting for; cancelled rows are
+        dropped from the batch before the forward runs.
         """
         key = (row_key(categorical, sequences, mask)
                if self.cache.capacity else None)
@@ -190,7 +204,8 @@ class ScoringEngine:
             self._next_id += 1
             request = _Request(self._next_id, categorical, sequences, mask,
                                key, trace=trace,
-                               trace_parent_id=trace_parent_id)
+                               trace_parent_id=trace_parent_id,
+                               deadline=deadline)
             cached = self.cache.get(key) if key is not None else None
             depth = len(self._queue)
             if cached is None:
@@ -224,10 +239,42 @@ class ScoringEngine:
 
     def score(self, rows: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
               timeout: float | None = None) -> np.ndarray:
-        """Blocking convenience: submit rows, wait, return logits in order."""
+        """Blocking convenience: submit rows, wait, return logits in order.
+
+        ``timeout`` bounds the *whole call*, not each row: one shared
+        deadline is computed up front and every future gets only the time
+        remaining, so an N-row request can never wait N × timeout.  On
+        timeout the still-pending futures are abandoned (cancelled or
+        failed) so no worker scores rows this caller stopped waiting for.
+        """
         futures = [self.submit_row(*row) for row in rows]
-        return np.array([f.result(timeout=timeout) for f in futures],
-                        dtype=np.float64)
+        deadline = (time.monotonic() + timeout) if timeout is not None \
+            else None
+        try:
+            results = []
+            for f in futures:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                results.append(f.result(timeout=remaining))
+        except BaseException:
+            self.abandon(futures)
+            raise
+        return np.array(results, dtype=np.float64)
+
+    @staticmethod
+    def abandon(futures: Iterable[Future]) -> None:
+        """Release futures the caller no longer awaits.
+
+        Pending ones are cancelled (the flushing worker drops them before
+        the forward, so abandoned rows cost no model time); already-running
+        or resolved ones are left to finish — their results are simply
+        discarded.  Exceptions held by resolved futures are consumed so
+        they are not logged as never-retrieved.
+        """
+        for f in futures:
+            if not f.cancel() and f.done():
+                f.exception()  # mark retrieved; discard
 
     # ------------------------------------------------------------------
     # Worker side
@@ -266,6 +313,9 @@ class ScoringEngine:
         with self._cond:
             depth = len(self._queue)
         tracer = self.tracer
+        batch = self._admit_batch(batch, flush_start)
+        if not batch:
+            return
         oldest_trace = batch[0].trace
         try:
             rows = Batch(
@@ -348,6 +398,46 @@ class ScoringEngine:
                 cached=False, batch_size=len(batch),
                 trace_id=(request.trace.trace_id
                           if request.trace is not None else None)))
+
+    def _admit_batch(self, batch: list[_Request],
+                     now: float) -> list[_Request]:
+        """Drop abandoned rows and fail expired ones before the forward.
+
+        Cancelled futures (caller gave up — HTTP timeout, closed
+        connection) are silently dropped: scoring them would spend model
+        time on answers nobody reads.  Rows whose deadline has passed are
+        resolved with :class:`DeadlineExceededError` — rejected, not
+        scored — so a backed-up queue sheds its stale tail instead of
+        serving every request late.
+        """
+        live: list[_Request] = []
+        tracer = self.tracer
+        for request in batch:
+            if request.future.cancelled():
+                self.registry.counter("serve.abandoned").inc()
+                continue
+            if request.deadline is not None and now > request.deadline:
+                if request.future.set_running_or_notify_cancel():
+                    request.future.set_exception(DeadlineExceededError(
+                        f"deadline expired {(now - request.deadline) * 1000.0:.1f}ms "
+                        f"before the batch flushed"))
+                self.registry.counter("serve.deadline_expired").inc()
+                latency_ms = (now - request.enqueued_at) * 1000.0
+                if request.trace is not None:
+                    tracer.record_span(
+                        "serve.request", request.trace, request.enqueued_at,
+                        now, span_id=request.trace.span_id,
+                        parent_id=request.trace_parent_id,
+                        attrs={"request_id": request.request_id,
+                               "error": "deadline_exceeded"})
+                self._emit("on_request_completed", RequestCompletedEvent(
+                    request_id=request.request_id, latency_ms=latency_ms,
+                    cached=False, batch_size=0, error="deadline_exceeded",
+                    trace_id=(request.trace.trace_id
+                              if request.trace is not None else None)))
+                continue
+            live.append(request)
+        return live
 
     # ------------------------------------------------------------------
     # Lifecycle and stats

@@ -13,7 +13,12 @@ the cache hit rate.  ``repro bench-serve`` prints it.
 
 from __future__ import annotations
 
+import json
+import threading
 import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -21,7 +26,8 @@ import numpy as np
 from ..data.batching import CTRDataset
 from .batcher import ScoringEngine
 
-__all__ = ["dataset_rows", "build_request_stream", "run_load"]
+__all__ = ["dataset_rows", "build_request_stream", "run_load",
+           "RetryPolicy", "run_http_load"]
 
 Row = tuple[np.ndarray, np.ndarray, np.ndarray]
 
@@ -60,6 +66,178 @@ def build_request_stream(num_rows: int, num_requests: int,
             stream.append(fresh % num_rows)
             fresh += 1
     return stream
+
+
+@dataclass
+class RetryPolicy:
+    """Client-side retry with capped exponential backoff and full jitter.
+
+    Retryable statuses are the ones the server uses for *transient* refusal
+    — 429 (shed) and 503 (draining / breaker open) — plus connection-level
+    failures.  The backoff for attempt ``k`` is drawn uniformly from
+    ``[0, min(max_backoff_s, base_backoff_s * 2**k)]`` ("full jitter"):
+    retries from a shed burst decorrelate instead of re-arriving as the
+    same thundering herd, which is the difference between backoff that
+    relieves an overloaded server and backoff that re-overloads it on a
+    schedule.  A server-provided ``Retry-After`` hint is the floor of the
+    draw.
+    """
+
+    max_retries: int = 3
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    retry_statuses: tuple[int, ...] = (429, 503)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_backoff_s <= 0 or self.max_backoff_s <= 0:
+            raise ValueError("backoff bounds must be positive")
+        self._rng = np.random.default_rng(self.seed)
+        self._rng_lock = threading.Lock()
+
+    def should_retry(self, attempt: int, status: int | None) -> bool:
+        """``status`` is the HTTP code, or ``None`` for connection errors."""
+        if attempt >= self.max_retries:
+            return False
+        return status is None or status in self.retry_statuses
+
+    def backoff_s(self, attempt: int,
+                  retry_after_s: float | None = None) -> float:
+        ceiling = min(self.max_backoff_s,
+                      self.base_backoff_s * (2.0 ** attempt))
+        with self._rng_lock:
+            delay = float(self._rng.uniform(0.0, ceiling))
+        if retry_after_s is not None:
+            delay = max(delay, min(retry_after_s, self.max_backoff_s))
+        return delay
+
+
+def _post_score(url: str, body: bytes, timeout_s: float,
+                deadline_ms: float | None) -> tuple[int, float | None]:
+    """One POST /score; returns (status, Retry-After seconds or None)."""
+    headers = {"Content-Type": "application/json"}
+    if deadline_ms is not None:
+        headers["X-Deadline-Ms"] = f"{deadline_ms:g}"
+    request = urllib.request.Request(url + "/score", data=body,
+                                     headers=headers, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as resp:
+            resp.read()
+            return resp.status, None
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        retry_after = exc.headers.get("Retry-After")
+        try:
+            return exc.code, (float(retry_after)
+                              if retry_after is not None else None)
+        finally:
+            exc.close()
+
+
+def run_http_load(url: str, rows: Sequence[Row], *, target_qps: float,
+                  num_requests: int, repeat_fraction: float = 0.0,
+                  seed: int = 0, timeout_s: float = 30.0,
+                  deadline_ms: float | None = None,
+                  retry: RetryPolicy | None = None,
+                  max_threads: int = 64) -> dict:
+    """Open-loop load against a live HTTP server (not the in-process engine).
+
+    Each request runs on its own thread so a slow response never delays the
+    dispatch schedule (the open-loop property).  With a :class:`RetryPolicy`
+    attached, 429/503 responses and connection errors are retried with
+    jittered backoff; the report then separates transport-level outcomes
+    (``status_counts``, ``retries``) from request-level ones (``ok`` /
+    ``shed`` / ``failed`` / ``dropped``).  ``dropped`` — a request that
+    never got *any* HTTP response — is the number that must be zero for a
+    hot-swap to count as seamless.
+    """
+    if target_qps <= 0:
+        raise ValueError("target_qps must be positive")
+    stream = build_request_stream(len(rows), num_requests,
+                                  repeat_fraction=repeat_fraction, seed=seed)
+    bodies = []
+    for index in stream:
+        categorical, sequences, mask = rows[index]
+        bodies.append(json.dumps({"rows": [{
+            "categorical": categorical.tolist(),
+            "sequences": sequences.tolist(),
+            "mask": mask.tolist()}]}).encode("utf-8"))
+    latencies = np.full(num_requests, np.nan)
+    final_status = np.zeros(num_requests, dtype=np.int64)
+    attempts_used = np.zeros(num_requests, dtype=np.int64)
+    dropped = np.zeros(num_requests, dtype=bool)
+    gate = threading.Semaphore(max_threads)
+
+    def fire(i: int) -> None:
+        try:
+            sent = time.monotonic()
+            attempt = 0
+            while True:
+                status: int | None
+                retry_after = None
+                try:
+                    status, retry_after = _post_score(
+                        url, bodies[i], timeout_s, deadline_ms)
+                except (urllib.error.URLError, ConnectionError,
+                        TimeoutError, OSError):
+                    status = None
+                if status == 200:
+                    latencies[i] = (time.monotonic() - sent) * 1000.0
+                if status is not None:
+                    final_status[i] = status
+                if retry is None or not retry.should_retry(attempt, status) \
+                        or status == 200:
+                    break
+                time.sleep(retry.backoff_s(attempt, retry_after))
+                attempt += 1
+            attempts_used[i] = attempt
+            dropped[i] = final_status[i] == 0
+        finally:
+            gate.release()
+
+    interval = 1.0 / target_qps
+    start = time.monotonic()
+    threads = []
+    for i in range(num_requests):
+        due = start + i * interval
+        delay = due - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        gate.acquire()
+        worker = threading.Thread(target=fire, args=(i,), daemon=True)
+        worker.start()
+        threads.append(worker)
+    for worker in threads:
+        worker.join(timeout=timeout_s + 10.0)
+    wall_s = max(time.monotonic() - start, 1e-9)
+    statuses, counts = np.unique(final_status, return_counts=True)
+    done = latencies[np.isfinite(latencies)]
+    ok = int((final_status == 200).sum())
+    report = {
+        "requests": num_requests,
+        "ok": ok,
+        "shed": int(np.isin(final_status, (429,)).sum()),
+        "unavailable": int(np.isin(final_status, (503,)).sum()),
+        "deadline_exceeded": int(np.isin(final_status, (504,)).sum()),
+        "http_5xx": int((final_status >= 500).sum()),
+        "dropped": int(dropped.sum()),
+        "retries": int(attempts_used.sum()),
+        "status_counts": {int(s): int(c) for s, c in zip(statuses, counts)
+                          if s != 0},
+        "target_qps": float(target_qps),
+        "achieved_qps": float(ok / wall_s),
+        "wall_time_s": float(wall_s),
+        "latency_ms": ({
+            "mean": float(done.mean()),
+            "p50": float(np.quantile(done, 0.50)),
+            "p95": float(np.quantile(done, 0.95)),
+            "p99": float(np.quantile(done, 0.99)),
+            "max": float(done.max()),
+        } if done.size else None),
+    }
+    return report
 
 
 def run_load(engine: ScoringEngine, rows: Sequence[Row], *,

@@ -1,0 +1,222 @@
+"""Model registry: versioned, digest-verified artifacts for fleet serving.
+
+A registry is a directory the whole fleet reads::
+
+    registry/
+      registry.json          # roles: production / shadow / challenger
+      models/
+        v1/                  # each version is a normal serving artifact
+          manifest.json
+          weights.npz
+        v2/
+          ...
+
+Versions are immutable once published: ``publish`` copies an exported
+artifact in, verifies every array digest against its manifest, and never
+overwrites an existing version.  ``registry.json`` is the only mutable file
+and is written atomically, so a replica reading mid-promote sees either the
+old state or the new one, never a torn mix.  Roles:
+
+``production``
+    The artifact every replica serves on the critical path.
+``shadow``
+    Scored off the critical path for every request (response discarded,
+    metrics kept) — how a challenger earns trust before taking traffic.
+``challenger`` + ``challenger_fraction``
+    Percentage A/B: a deterministic hash of the feature row routes that
+    fraction of requests to the challenger *instead of* production.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import shutil
+from pathlib import Path
+from typing import Any
+
+from ..resilience.atomic import atomic_write_json
+from .artifact import MANIFEST_NAME, WEIGHTS_NAME, load_artifact, load_manifest
+
+__all__ = ["ModelRegistry", "RegistryError", "STATE_NAME"]
+
+STATE_NAME = "registry.json"
+MODELS_DIR = "models"
+STATE_FORMAT_VERSION = 1
+
+_VERSION_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class RegistryError(ValueError):
+    """The registry directory or a requested version is invalid."""
+
+
+def manifest_digest(manifest: dict[str, Any]) -> str:
+    """Stable artifact identity: SHA-256 over the per-array digests.
+
+    Matches :meth:`InferenceSession.artifact_digest`, so a probe can compare
+    what a replica *serves* against what the registry *says* it should.
+    """
+    h = hashlib.sha256()
+    for name in sorted(manifest.get("arrays", {})):
+        h.update(name.encode("utf-8"))
+        h.update(manifest["arrays"][name]["sha256"].encode("ascii"))
+    return h.hexdigest()
+
+
+class ModelRegistry:
+    """Versioned artifact store plus the production/shadow/challenger roles."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.models_dir = self.root / MODELS_DIR
+        self.models_dir.mkdir(parents=True, exist_ok=True)
+        if not (self.root / STATE_NAME).exists():
+            self._write_state({"production": None, "shadow": None,
+                               "challenger": None,
+                               "challenger_fraction": 0.0})
+
+    # ------------------------------------------------------------------
+    # State file
+    # ------------------------------------------------------------------
+    def state(self) -> dict[str, Any]:
+        path = self.root / STATE_NAME
+        try:
+            state = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(f"cannot read {path}: {exc}") from exc
+        version = state.get("format_version")
+        if version != STATE_FORMAT_VERSION:
+            raise RegistryError(
+                f"{path}: format_version {version!r} is not supported")
+        return state
+
+    def _write_state(self, roles: dict[str, Any]) -> None:
+        atomic_write_json(self.root / STATE_NAME,
+                          {"format_version": STATE_FORMAT_VERSION, **roles})
+
+    def _update_state(self, **changes: Any) -> dict[str, Any]:
+        state = self.state()
+        state.update(changes)
+        state.pop("format_version", None)
+        self._write_state(state)
+        return self.state()
+
+    # ------------------------------------------------------------------
+    # Versions
+    # ------------------------------------------------------------------
+    def versions(self) -> list[str]:
+        """Published version names, oldest-first by numeric suffix then name."""
+        found = [p.name for p in self.models_dir.iterdir() if p.is_dir()]
+
+        def sort_key(name: str):
+            match = re.search(r"(\d+)$", name)
+            return (0, int(match.group(1)), name) if match else (1, 0, name)
+
+        return sorted(found, key=sort_key)
+
+    def _next_version(self) -> str:
+        taken = set(self.versions())
+        n = 1
+        while f"v{n}" in taken:
+            n += 1
+        return f"v{n}"
+
+    def path(self, version: str) -> Path:
+        directory = self.models_dir / version
+        if not directory.is_dir():
+            raise RegistryError(
+                f"version {version!r} is not in the registry "
+                f"(have: {self.versions() or 'none'})")
+        return directory
+
+    def describe(self, version: str) -> dict[str, Any]:
+        """JSON-safe summary of one published version."""
+        manifest = load_manifest(self.path(version))
+        return {"version": version,
+                "model": manifest["model"],
+                "digest": manifest_digest(manifest),
+                "backend": manifest.get("backend", "reference"),
+                "dataset": manifest.get("metadata", {}).get("dataset"),
+                "test_auc": manifest.get("metadata", {}).get("test_auc")}
+
+    def publish(self, artifact: str | Path, *, version: str | None = None,
+                promote: bool = False) -> str:
+        """Copy ``artifact`` into the registry as an immutable version.
+
+        The copy is fully verified (every weight array digest-checked and
+        loaded into a model) *before* it becomes visible under a version
+        name, so a half-copied or corrupt artifact can never be promoted.
+        """
+        if version is None:
+            version = self._next_version()
+        if not _VERSION_RE.match(version):
+            raise RegistryError(
+                f"version {version!r} must match {_VERSION_RE.pattern}")
+        if (self.models_dir / version).exists():
+            raise RegistryError(
+                f"version {version!r} already published; versions are "
+                f"immutable — publish under a new name")
+        source = Path(artifact)
+        load_manifest(source)  # fail fast on a non-artifact directory
+        staging = self.models_dir / f".incoming-{version}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        try:
+            for name in (MANIFEST_NAME, WEIGHTS_NAME):
+                if not (source / name).exists():
+                    raise RegistryError(f"{source} lacks {name}; not a "
+                                        f"complete serving artifact")
+                shutil.copy2(source / name, staging / name)
+            # Full verification of the *copy*: digests + model rebuild.
+            load_artifact(staging)
+            staging.rename(self.models_dir / version)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        if promote:
+            self.promote(version)
+        return version
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    def promote(self, version: str) -> dict[str, Any]:
+        """Make ``version`` production; clears it from shadow/challenger."""
+        self.path(version)
+        state = self.state()
+        changes: dict[str, Any] = {"production": version}
+        if state.get("shadow") == version:
+            changes["shadow"] = None
+        if state.get("challenger") == version:
+            changes["challenger"] = None
+            changes["challenger_fraction"] = 0.0
+        return self._update_state(**changes)
+
+    def set_shadow(self, version: str | None) -> dict[str, Any]:
+        if version is not None:
+            self.path(version)
+        return self._update_state(shadow=version)
+
+    def set_challenger(self, version: str | None,
+                       fraction: float = 0.0) -> dict[str, Any]:
+        if version is not None:
+            self.path(version)
+            if not 0.0 < fraction <= 1.0:
+                raise RegistryError(
+                    "challenger_fraction must be in (0, 1] when a "
+                    "challenger is set")
+        else:
+            fraction = 0.0
+        return self._update_state(challenger=version,
+                                  challenger_fraction=float(fraction))
+
+    def production(self) -> str:
+        version = self.state().get("production")
+        if version is None:
+            raise RegistryError(
+                "registry has no production version; publish then promote")
+        self.path(version)
+        return version

@@ -1,0 +1,242 @@
+"""Model router: one serving front door, a fleet of model deployments.
+
+The router owns up to three live deployments, each a (version, session,
+engine) triple built by an injected ``engine_factory``:
+
+``primary``
+    Scores the critical path.  :meth:`deploy_primary` hot-swaps it with
+    zero dropped requests: the replacement engine is built and warmed
+    first, the pointer switch happens under the submit lock (so no request
+    can observe a half-swapped router), and only then is the old engine
+    drained — every request it had already accepted still resolves.
+``shadow``
+    Receives a fire-and-forget copy of every primary-routed request.
+    Shadow results are discarded and shadow failures are swallowed (and
+    counted) — a broken challenger can never hurt production traffic.
+``challenger``
+    Percentage A/B: a deterministic hash of the feature row sends
+    ``challenger_fraction`` of requests to the challenger *instead of*
+    production.  Hash-based routing means a given row always sees the same
+    model, so repeated requests stay cache-coherent and comparable.
+
+Per-model traffic is counted as ``serve.model.<version>.requests`` /
+``.errors`` in the shared metric registry, alongside role counters
+(``serve.shadow.requests``, ``serve.ab.challenger_requests``), so operators
+can watch a challenger's error rate before promoting it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable
+
+import numpy as np
+
+from ..obs import MetricRegistry
+from ..obs.trace import SpanContext
+from .batcher import ScoringEngine, row_key
+
+__all__ = ["ModelRouter", "Deployment"]
+
+
+class Deployment:
+    """One live model: a version label, its session, and its engine."""
+
+    __slots__ = ("version", "session", "engine")
+
+    def __init__(self, version: str, session, engine: ScoringEngine):
+        self.version = version
+        self.session = session
+        self.engine = engine
+
+
+def _route_bucket(categorical: np.ndarray, sequences: np.ndarray,
+                  mask: np.ndarray) -> int:
+    """Deterministic bucket in [0, 10000) from the full feature row."""
+    digest = row_key(categorical, sequences, mask)
+    return int.from_bytes(digest[:8], "big") % 10_000
+
+
+class ModelRouter:
+    """Route score requests across primary / shadow / challenger engines."""
+
+    def __init__(self, engine_factory: Callable[[Any], ScoringEngine], *,
+                 metrics: MetricRegistry | None = None):
+        self._factory = engine_factory
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        # Guards the deployment pointers AND spans each submit_row call, so
+        # a swap can never close an engine between a request picking it and
+        # enqueueing into it — the zero-drop invariant.
+        self._lock = threading.Lock()
+        self._primary: Deployment | None = None
+        self._shadow: Deployment | None = None
+        self._challenger: Deployment | None = None
+        self._fraction = 0.0
+        self._swaps = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Deployment management
+    # ------------------------------------------------------------------
+    def deploy_primary(self, session, version: str) -> dict[str, Any]:
+        """Install (or hot-swap) the production model; returns swap info.
+
+        The new engine exists and accepts work *before* the old one stops;
+        requests admitted to the old engine drain to completion, requests
+        arriving during the swap land on whichever engine the pointer
+        names — both of which score.  Nothing is dropped.
+        """
+        start = time.monotonic()
+        engine = self._factory(session)
+        with self._lock:
+            if self._closed:
+                engine.close(drain=False)
+                raise RuntimeError("router is closed")
+            old = self._primary
+            self._primary = Deployment(version, session, engine)
+            self._swaps += 1
+        drained = 0
+        if old is not None:
+            drained = old.engine.queue_depth()
+            old.engine.close(drain=True)
+        swap_ms = (time.monotonic() - start) * 1000.0
+        self.metrics.counter("serve.model.swaps").inc()
+        return {"old_version": old.version if old is not None else None,
+                "new_version": version, "swap_ms": swap_ms,
+                "drained_queue_depth": drained}
+
+    def set_shadow(self, session, version: str | None) -> None:
+        """Attach (or detach, with ``version=None``) the shadow model."""
+        new = None
+        if version is not None:
+            new = Deployment(version, session, self._factory(session))
+        with self._lock:
+            old, self._shadow = self._shadow, new
+        if old is not None:
+            old.engine.close(drain=True)
+
+    def set_challenger(self, session, version: str | None,
+                       fraction: float = 0.0) -> None:
+        """Attach (or detach) the A/B challenger taking ``fraction``."""
+        new = None
+        if version is not None:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError("fraction must be in (0, 1]")
+            new = Deployment(version, session, self._factory(session))
+        else:
+            fraction = 0.0
+        with self._lock:
+            old, self._challenger = self._challenger, new
+            self._fraction = fraction
+        if old is not None:
+            old.engine.close(drain=True)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    @property
+    def primary(self) -> Deployment:
+        with self._lock:
+            if self._primary is None:
+                raise RuntimeError("router has no primary deployment")
+            return self._primary
+
+    @property
+    def primary_session(self):
+        return self.primary.session
+
+    @property
+    def primary_engine(self) -> ScoringEngine:
+        return self.primary.engine
+
+    def submit(self, categorical: np.ndarray, sequences: np.ndarray,
+               mask: np.ndarray, *,
+               trace_parent: SpanContext | None = None,
+               deadline: float | None = None) -> tuple[Future, str]:
+        """Route one row; returns (future, version-that-scores-it).
+
+        The hash split is evaluated per row, the shadow copy (if any) is
+        dispatched fire-and-forget, and the row is enqueued while the
+        router lock is held so a concurrent hot-swap cannot close the
+        chosen engine out from under it.
+        """
+        with self._lock:
+            if self._primary is None:
+                raise RuntimeError("router has no primary deployment")
+            target = self._primary
+            if self._challenger is not None and \
+                    _route_bucket(categorical, sequences, mask) < \
+                    int(self._fraction * 10_000):
+                target = self._challenger
+                self.metrics.counter("serve.ab.challenger_requests").inc()
+            shadow = self._shadow
+            future = target.engine.submit_row(
+                categorical, sequences, mask, trace_parent=trace_parent,
+                deadline=deadline)
+            if shadow is not None and target is not shadow:
+                self._submit_shadow(shadow, categorical, sequences, mask)
+        self.metrics.counter(
+            f"serve.model.{target.version}.requests").inc()
+        version = target.version
+        future.add_done_callback(
+            lambda f, v=version: self._record_outcome(f, v))
+        return future, version
+
+    def _submit_shadow(self, shadow: Deployment, categorical, sequences,
+                       mask) -> None:
+        """Fire-and-forget shadow copy — never on the critical path."""
+        self.metrics.counter("serve.shadow.requests").inc()
+        self.metrics.counter(
+            f"serve.model.{shadow.version}.requests").inc()
+        try:
+            future = shadow.engine.submit_row(categorical, sequences, mask)
+        except Exception:
+            self.metrics.counter("serve.shadow.errors").inc()
+            return
+        version = shadow.version
+
+        def consume(f: Future, v: str = version) -> None:
+            exc = None if f.cancelled() else f.exception()
+            if f.cancelled() or exc is not None:
+                self.metrics.counter("serve.shadow.errors").inc()
+                self.metrics.counter(f"serve.model.{v}.errors").inc()
+
+        future.add_done_callback(consume)
+
+    def _record_outcome(self, future: Future, version: str) -> None:
+        if future.cancelled() or future.exception() is not None:
+            self.metrics.counter(f"serve.model.{version}.errors").inc()
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe fleet state for ``/healthz``."""
+        with self._lock:
+            return {
+                "primary": (self._primary.version
+                            if self._primary is not None else None),
+                "shadow": (self._shadow.version
+                           if self._shadow is not None else None),
+                "challenger": (self._challenger.version
+                               if self._challenger is not None else None),
+                "challenger_fraction": self._fraction,
+                "swaps": self._swaps,
+            }
+
+    def deployments(self) -> list[Deployment]:
+        with self._lock:
+            return [d for d in (self._primary, self._shadow,
+                                self._challenger) if d is not None]
+
+    def close(self, drain: bool = True) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            deployments = [d for d in (self._primary, self._shadow,
+                                       self._challenger) if d is not None]
+        for deployment in deployments:
+            deployment.engine.close(drain=drain)

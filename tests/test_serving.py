@@ -841,6 +841,8 @@ class TestHTTPTracing:
         assert len(ingress) == 1
         assert ingress[0]["parent_id"] is None
         assert ingress[0]["attrs"]["status"] == 200
+        # The ingress span names the deployment that scored the request.
+        assert ingress[0]["attrs"]["model_version"] == "v0"
         requests = sink.by_name("serve.request")
         assert len(requests) == 2
         assert all(r["parent_id"] == ingress[0]["span_id"] for r in requests)
