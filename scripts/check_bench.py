@@ -25,6 +25,19 @@ A metric regresses when the candidate ratio falls below
   pipeline that is *slower than its in-run reference* is a regression no
   matter what the baseline said.
 
+Streaming reports (``BENCH_stream.json``, from ``repro bench-stream``) are
+checked differently: throughput (windows/sec) is hardware-dependent and
+never gated, but drift-detection behaviour is deterministic for a fixed
+seed, so every baseline scenario must still *detect*, must not drop
+requests, and its detection latency may grow at most
+``--latency-slack`` windows over the baseline.
+
+``--candidate PATH`` (repeatable) dispatches on the report's content
+(``kernels`` -> ops, ``benchmark`` field otherwise), so CI can glob
+fresh reports without naming their kinds.  A report whose kind this
+guard does not know is skipped with a warning and does NOT fail the run —
+a new bench must be land-able before its tolerances are registered here.
+
 Exit status: 0 when every checked metric holds, 1 on any regression,
 2 on unreadable/malformed input.  Metrics present in the baseline but
 missing from the candidate fail loudly — silently dropping a kernel from
@@ -41,6 +54,11 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_TOLERANCE = 0.40
 DEFAULT_FLOOR = 1.0
+
+#: Windows a scenario's detection latency may grow over the baseline
+#: before it counts as a regression (detection is seeded-deterministic,
+#: but detector-threshold tuning legitimately moves it a little).
+DEFAULT_LATENCY_SLACK = 3
 
 #: Per-metric tolerance overrides (fraction of baseline allowed to be lost).
 #: ``fused_mlp``'s baseline edge is thin (~1.2x), so a generic band around it
@@ -138,6 +156,55 @@ def check_pipeline(baseline: dict, candidate: dict,
     return rows
 
 
+def check_stream(baseline: dict, candidate: dict,
+                 latency_slack: int = DEFAULT_LATENCY_SLACK) -> list[dict]:
+    """Rows for every scenario in the stream baseline.
+
+    Lower-is-better metrics: ``allowed`` is an upper bound here
+    (baseline latency + slack windows; zero dropped requests).
+    """
+    rows = []
+    cand_scenarios = candidate.get("scenarios", {})
+    for name, base in sorted(baseline.get("scenarios", {}).items()):
+        cand = cand_scenarios.get(name)
+        if cand is None:
+            rows.append({"metric": f"stream.{name}.detected",
+                         "baseline": 1.0, "candidate": None,
+                         "allowed": None, "ok": False})
+            continue
+        if base.get("detected"):
+            base_latency = float(base["windows_to_detect"])
+            allowed = base_latency + latency_slack
+            detected = bool(cand.get("detected"))
+            latency = (float(cand["windows_to_detect"]) if detected
+                       else float("inf"))
+            rows.append({"metric": f"stream.{name}.windows_to_detect",
+                         "baseline": base_latency,
+                         "candidate": latency, "allowed": allowed,
+                         "ok": detected and latency <= allowed})
+        rows.append({"metric": f"stream.{name}.dropped",
+                     "baseline": float(base.get("dropped", 0)),
+                     "candidate": float(cand.get("dropped", 0)),
+                     "allowed": 0.0,
+                     "ok": cand.get("dropped", 0) == 0})
+    return rows
+
+
+def dispatch(path: Path, payload: dict, args) -> list[dict] | None:
+    """Route a report to its checker by content; None = unknown kind."""
+    if "kernels" in payload:
+        return check_ops(_load(args.baseline_ops), payload,
+                         args.tolerance, args.floor)
+    kind = payload.get("benchmark")
+    if kind == "pipeline":
+        return check_pipeline(_load(args.baseline_pipeline), payload,
+                              args.tolerance, args.floor)
+    if kind == "stream":
+        return check_stream(_load(args.baseline_stream), payload,
+                            args.latency_slack)
+    return None
+
+
 def render(rows: list[dict]) -> str:
     lines = [f"{'metric':<28}{'baseline':>10}{'candidate':>11}"
              f"{'allowed':>10}  verdict"]
@@ -165,6 +232,19 @@ def main(argv: list[str] | None = None) -> int:
                         default=REPO_ROOT / "BENCH_pipeline.json")
     parser.add_argument("--candidate-pipeline", type=Path, default=None,
                         help="fresh `repro bench-pipeline` report to check")
+    parser.add_argument("--baseline-stream", type=Path,
+                        default=REPO_ROOT / "BENCH_stream.json")
+    parser.add_argument("--candidate-stream", type=Path, default=None,
+                        help="fresh `repro bench-stream` report to check")
+    parser.add_argument("--candidate", type=Path, action="append",
+                        default=[], metavar="PATH",
+                        help="report of any kind, dispatched by content; "
+                             "unknown kinds are skipped with a warning "
+                             "(repeatable)")
+    parser.add_argument("--latency-slack", type=int,
+                        default=DEFAULT_LATENCY_SLACK, metavar="WINDOWS",
+                        help="extra drift-detection windows allowed over "
+                             "the stream baseline (default %(default)s)")
     parser.add_argument("--tolerance", type=float,
                         default=DEFAULT_TOLERANCE, metavar="FRAC",
                         help="fraction of the baseline speedup a metric may "
@@ -174,9 +254,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="absolute minimum in-run speedup (default "
                              "%(default)s: never slower than reference)")
     args = parser.parse_args(argv)
-    if args.candidate_ops is None and args.candidate_pipeline is None:
-        parser.error("nothing to check: pass --candidate-ops and/or "
-                     "--candidate-pipeline")
+    if (args.candidate_ops is None and args.candidate_pipeline is None
+            and args.candidate_stream is None and not args.candidate):
+        parser.error("nothing to check: pass --candidate-ops, "
+                     "--candidate-pipeline, --candidate-stream and/or "
+                     "--candidate")
 
     rows = []
     if args.candidate_ops is not None:
@@ -187,6 +269,20 @@ def main(argv: list[str] | None = None) -> int:
         rows += check_pipeline(_load(args.baseline_pipeline),
                                _load(args.candidate_pipeline),
                                args.tolerance, args.floor)
+    if args.candidate_stream is not None:
+        rows += check_stream(_load(args.baseline_stream),
+                             _load(args.candidate_stream),
+                             args.latency_slack)
+    for path in args.candidate:
+        payload = _load(path)
+        checked = dispatch(path, payload, args)
+        if checked is None:
+            kind = payload.get("benchmark", "?")
+            print(f"check_bench: warning: {path} has unknown report kind "
+                  f"{kind!r}; skipping (no tolerances registered)",
+                  file=sys.stderr)
+            continue
+        rows += checked
     print(render(rows))
     failures = [r for r in rows if not r["ok"]]
     if failures:

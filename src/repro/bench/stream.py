@@ -1,0 +1,226 @@
+"""Streaming-loop benchmark: throughput plus drift-detection latency.
+
+Runs the full online-learning loop (``repro.streaming``) against three
+scripted non-stationarity scenarios and reports, per scenario:
+
+* **throughput** — windows/sec and rows/sec for the whole loop (serve
+  through the live router + drift detection + incremental training +
+  promotion control).  Hardware-dependent; reported, never regression-gated.
+* **detection latency** — windows from the scenario's onset to the first
+  drift alarm (``windows_to_detect``), which detector raised it, and how
+  many alarms fired *before* onset (``false_alarms``).  Fully deterministic
+  for a fixed seed, so ``scripts/check_bench.py`` can band it tightly.
+
+Scenarios
+---------
+``interest_drift``
+    A large fraction of users resample their interest topics at the onset
+    window; the associations the offline model learned stop predicting.
+``label_burst``
+    The label flip rate jumps from the base 2% to 40% for a six-window
+    burst (window-invariant corruption, so detection cannot key on framing).
+``cold_users``
+    Half the user vocabulary is held out and then arrives rapidly with
+    near-empty histories from the onset window on.
+
+One offline model is trained once and published once; each scenario
+re-warm-starts the incremental trainer from that artifact and gets a fresh
+registry + router, so scenarios are independent and order-insensitive.
+The report is written to ``BENCH_stream.json`` (same conventions as the
+other bench reports: deterministic seeds, atomic JSON publish).
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..data.processing import build_ctr_data
+from ..data.synthetic import InterestWorld, InterestWorldConfig
+from ..models import create_model
+from ..resilience.atomic import atomic_write_json
+from ..serving.artifact import export_artifact
+from ..serving.batcher import ScoringEngine
+from ..serving.registry import ModelRegistry
+from ..serving.router import ModelRouter
+from ..serving.session import InferenceSession
+from ..streaming import (
+    DriftMonitor,
+    IncrementalConfig,
+    IncrementalTrainer,
+    OnlineLoop,
+    PromotionConfig,
+    PromotionController,
+    StreamConfig,
+    ClickStream,
+)
+from ..training.trainer import TrainConfig, Trainer
+
+__all__ = ["run_stream_bench", "render_stream_report", "SCENARIOS"]
+
+#: Window at which every scenario's disturbance begins.
+ONSET_WINDOW = 10
+
+#: Scenario name -> StreamConfig overrides (beyond the shared shape).
+SCENARIOS: dict[str, dict] = {
+    "interest_drift": {
+        "drift_window": ONSET_WINDOW, "drift_fraction": 0.9,
+        "noise_rate": 0.02,
+    },
+    "label_burst": {
+        "noise_rate": 0.02, "noise_burst": (ONSET_WINDOW, ONSET_WINDOW + 6),
+        "noise_burst_rate": 0.4,
+    },
+    "cold_users": {
+        "cold_fraction": 0.5, "cold_start_window": ONSET_WINDOW,
+        "cold_users_per_window": 12, "cold_bootstrap_len": 1,
+        "cold_activity": 4.0, "noise_rate": 0.02,
+    },
+}
+
+
+def _offline_bootstrap(tmp: Path, seed: int, epochs: int):
+    """Train the offline model once; returns (world, processed, artifact)."""
+    world = InterestWorld(InterestWorldConfig(
+        num_users=120, num_items=160, num_topics=8, num_categories=4,
+        min_interactions=3, seed=seed + 3))
+    processed = build_ctr_data(world, max_seq_len=10, seed=seed + 4)
+    model = create_model("DIN", processed.schema, seed=seed + 1)
+    trainer = Trainer(TrainConfig(epochs=epochs, batch_size=128,
+                                  seed=seed + 1))
+    result = trainer.fit(model, processed.train, processed.validation)
+    artifact = tmp / "artifact"
+    export_artifact(model, artifact, model_name="DIN",
+                    metadata={"dataset": processed.schema.name,
+                              "val_auc": result.validation.auc})
+    return world, processed, artifact
+
+
+def _detection(result, start_window: int) -> dict:
+    """Latency of the first alarm at/after onset; alarms before it are
+    false positives, not negative latency."""
+    first = None
+    false_alarms = 0
+    for signal_ in result.drift_signals:
+        if signal_["window"] < start_window:
+            false_alarms += 1
+        elif first is None:
+            first = signal_
+    return {
+        "detected": first is not None,
+        "detection_window": first["window"] if first else None,
+        "detector": first["detector"] if first else None,
+        "windows_to_detect": (first["window"] - start_window
+                              if first else None),
+        "false_alarms": false_alarms,
+    }
+
+
+def _run_scenario(name: str, overrides: dict, world, processed, artifact,
+                  tmp: Path, seed: int, windows: int, impressions: int
+                  ) -> dict:
+    stream_config = StreamConfig(
+        num_windows=windows, impressions_per_window=impressions,
+        seed=seed + 11, **overrides)
+    stream = ClickStream(world, processed, stream_config)
+    registry = ModelRegistry(tmp / name / "registry")
+    version = registry.publish(artifact, promote=True)
+
+    def factory(session):
+        return ScoringEngine(session, max_batch_size=64, max_wait_ms=0.5,
+                             num_workers=1, cache_size=0)
+
+    router = ModelRouter(factory)
+    router.deploy_primary(InferenceSession.load(registry.path(version)),
+                          version)
+    trainer = IncrementalTrainer.from_artifact(
+        artifact, IncrementalConfig(learning_rate=5e-3, seed=seed),
+        checkpoint_dir=tmp / name / "ckpt")
+    controller = PromotionController(
+        registry, router,
+        PromotionConfig(export_every=0, recovery_windows=3,
+                        shadow_windows=3, rollback_windows=3),
+        export_dir=tmp / name / "exports", model_name="DIN")
+    loop = OnlineLoop(stream, trainer, router, controller, DriftMonitor())
+    start = time.perf_counter()
+    try:
+        result = loop.run()
+    finally:
+        router.close()
+    elapsed = time.perf_counter() - start
+    summary = result.summary()
+    return {
+        "config": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in overrides.items()},
+        "start_window": ONSET_WINDOW,
+        **_detection(result, ONSET_WINDOW),
+        "windows": summary["windows"],
+        "rows": summary["rows"],
+        "elapsed_s": elapsed,
+        "windows_per_s": summary["windows"] / elapsed,
+        "rows_per_s": summary["rows"] / elapsed,
+        "drift_signals": summary["drift_signals"],
+        "promotions": summary["promotions"],
+        "rollbacks": summary["rollbacks"],
+        "dropped": summary["dropped"],
+        "production_auc_mean": summary["production_auc_mean"],
+        "final_production": summary["final_production"],
+    }
+
+
+def run_stream_bench(
+    scenarios: tuple = tuple(SCENARIOS),
+    seed: int = 0,
+    windows: int = 26,
+    impressions: int = 100,
+    epochs: int = 10,
+    out_path: str | None = "BENCH_stream.json",
+) -> dict:
+    """Run every scenario and return (and optionally write) the report."""
+    unknown = [s for s in scenarios if s not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s) {unknown}; "
+                         f"have {sorted(SCENARIOS)}")
+    with tempfile.TemporaryDirectory(prefix="bench-stream-") as raw_tmp:
+        tmp = Path(raw_tmp)
+        world, processed, artifact = _offline_bootstrap(tmp, seed, epochs)
+        results = {
+            name: _run_scenario(name, SCENARIOS[name], world, processed,
+                                artifact, tmp, seed, windows, impressions)
+            for name in scenarios
+        }
+    payload = {
+        "benchmark": "stream",
+        "config": {
+            "seed": seed,
+            "windows": windows,
+            "impressions_per_window": impressions,
+            "offline_epochs": epochs,
+            "onset_window": ONSET_WINDOW,
+        },
+        "scenarios": results,
+    }
+    if out_path is not None:
+        atomic_write_json(out_path, payload)
+    return payload
+
+
+def render_stream_report(payload: dict) -> str:
+    lines = [f"{'scenario':<16}{'detect?':>8}{'latency':>9}"
+             f"{'detector':>15}{'FP':>4}{'promo':>6}{'drop':>6}"
+             f"{'win/s':>8}{'rows/s':>9}"]
+    for name, row in payload["scenarios"].items():
+        latency = (f"{row['windows_to_detect']}w"
+                   if row["windows_to_detect"] is not None else "-")
+        lines.append(
+            f"{name:<16}{'yes' if row['detected'] else 'NO':>8}"
+            f"{latency:>9}{row['detector'] or '-':>15}"
+            f"{row['false_alarms']:>4}{row['promotions']:>6}"
+            f"{row['dropped']:>6}{row['windows_per_s']:>8.2f}"
+            f"{row['rows_per_s']:>9.0f}")
+    lines.append(f"(onset at window {payload['config']['onset_window']}; "
+                 f"latency = windows from onset to first alarm)")
+    return "\n".join(lines)

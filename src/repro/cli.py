@@ -30,6 +30,13 @@ Commands
     Benchmark batch assembly over the sharded on-disk format — sequential
     loader vs. ``PrefetchLoader`` at several worker counts — and write
     ``BENCH_pipeline.json``.
+``stream-train``
+    Online learning: replay a synthetic click stream through the live
+    router, train incrementally with prequential validation, detect drift,
+    and auto-promote recovered models into the registry.
+``bench-stream``
+    Benchmark the streaming loop (windows/sec) and its drift-detection
+    latency across scripted scenarios; write ``BENCH_stream.json``.
 
 Every command accepts ``--backend {reference,fused}`` to pick the array-math
 backend (default: the ``REPRO_BACKEND`` environment variable, else
@@ -55,6 +62,7 @@ import argparse
 import json
 import signal
 import sys
+import tempfile
 import threading
 from contextlib import contextmanager
 from pathlib import Path
@@ -64,6 +72,7 @@ import numpy as np
 
 from .bench.micro import render_report, run_micro
 from .bench.pipeline import render_pipeline_report, run_pipeline_bench
+from .bench.stream import SCENARIOS, render_stream_report, run_stream_bench
 from .core import MISSConfig, attach_miss
 from .data import (
     DATASET_NAMES,
@@ -86,9 +95,11 @@ from .obs import (
     Tracer,
     read_trace,
     render_spans,
+    render_stream,
     render_summary,
     set_tracer,
     summarize_spans,
+    summarize_stream,
     summarize_trace,
 )
 from .nn.backend import BACKEND_NAMES, set_backend
@@ -108,7 +119,19 @@ from .serving import (
     run_http_load,
     run_load,
 )
-from .training import TrainConfig, run_experiment
+from .data.processing import build_ctr_data
+from .serving.router import ModelRouter
+from .streaming import (
+    ClickStream,
+    DriftMonitor,
+    IncrementalConfig,
+    IncrementalTrainer,
+    OnlineLoop,
+    PromotionConfig,
+    PromotionController,
+    StreamConfig,
+)
+from .training import TrainConfig, Trainer, run_experiment
 
 __all__ = ["main", "build_parser"]
 
@@ -226,6 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--spans", action="store_true",
                          help="render span timelines and critical paths "
                               "(traces recorded via --trace-jsonl)")
+    inspect.add_argument("--stream", action="store_true",
+                         help="render a streaming run: prequential AUC per "
+                              "window, drift markers, promotion/rollback "
+                              "timeline (traces from `stream-train "
+                              "--log-jsonl`)")
 
     export = sub.add_parser(
         "export", help="train a model and freeze it as a serving artifact")
@@ -427,6 +455,96 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default BENCH_pipeline.json)")
     add_trace_options(bench_pipe)
     add_profile_option(bench_pipe)
+
+    stream = sub.add_parser(
+        "stream-train",
+        help="online learning over a synthetic click stream: serve through "
+             "the live router, train incrementally, detect drift, "
+             "auto-promote")
+    add_backend(stream)
+    stream.add_argument("--registry", metavar="DIR", required=True,
+                        help="model registry: warm-start from its "
+                             "production version and publish candidates "
+                             "back into it")
+    stream.add_argument("--bootstrap-epochs", type=int, default=0,
+                        metavar="N",
+                        help="when the registry has no production model, "
+                             "train one offline for N epochs, publish and "
+                             "promote it first (0 = require an existing "
+                             "production version)")
+    stream.add_argument("--model", choices=MODEL_NAMES, default="DIN",
+                        help="model for --bootstrap-epochs (default DIN)")
+    stream.add_argument("--dataset", choices=DATASET_NAMES,
+                        default="amazon-cds")
+    stream.add_argument("--scale", type=float, default=0.2)
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--windows", type=int, default=30, metavar="N",
+                        help="stream length in micro-batch windows "
+                             "(default 30)")
+    stream.add_argument("--impressions", type=int, default=64, metavar="N",
+                        help="impressions per window; rows = 2x (default 64)")
+    stream.add_argument("--stream-seed", type=int, default=11)
+    stream.add_argument("--drift-window", type=int, default=None,
+                        metavar="W",
+                        help="resample interests for --drift-fraction of "
+                             "users at window W")
+    stream.add_argument("--drift-fraction", type=float, default=0.5)
+    stream.add_argument("--cold-fraction", type=float, default=0.0,
+                        help="hold out this fraction of users to arrive "
+                             "cold during the stream")
+    stream.add_argument("--cold-start-window", type=int, default=0)
+    stream.add_argument("--cold-per-window", type=int, default=2)
+    stream.add_argument("--cold-activity", type=float, default=1.0,
+                        help="impression weight of a newly arrived user vs. "
+                             "a warm one (default 1.0)")
+    stream.add_argument("--noise-rate", type=float, default=0.0,
+                        help="base label flip rate")
+    stream.add_argument("--noise-burst", metavar="START:END", default=None,
+                        help="window interval with the flip rate raised to "
+                             "--noise-burst-rate")
+    stream.add_argument("--noise-burst-rate", type=float, default=0.35)
+    stream.add_argument("--learning-rate", type=float, default=5e-3)
+    stream.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="checkpoint the incremental trainer after "
+                             "every window")
+    stream.add_argument("--resume", action="store_true",
+                        help="continue from the latest window checkpoint in "
+                             "--checkpoint-dir")
+    stream.add_argument("--export-every", type=int, default=10, metavar="K",
+                        help="publish a challenger every K windows; 0 "
+                             "disables scheduled exports (drift recovery "
+                             "still exports; default 10)")
+    stream.add_argument("--export-dir", metavar="DIR", default=None,
+                        help="where candidate artifacts are exported "
+                             "(default: a temporary directory)")
+    stream.add_argument("--log-jsonl", metavar="PATH", default=None,
+                        help="write stream_window/drift_detected/promotion "
+                             "events; view with `repro inspect-run PATH "
+                             "--stream`")
+    stream.add_argument("--verbose", action="store_true",
+                        help="print per-window progress lines")
+    add_trace_options(stream)
+    add_profile_option(stream)
+
+    bench_stream = sub.add_parser(
+        "bench-stream",
+        help="benchmark the streaming loop: throughput and drift-detection "
+             "latency per scenario")
+    bench_stream.add_argument("--scenarios", nargs="+",
+                              default=list(SCENARIOS),
+                              choices=list(SCENARIOS),
+                              help="scenarios to run (default: all)")
+    bench_stream.add_argument("--seed", type=int, default=0)
+    bench_stream.add_argument("--windows", type=int, default=26, metavar="N")
+    bench_stream.add_argument("--impressions", type=int, default=100,
+                              metavar="N")
+    bench_stream.add_argument("--epochs", type=int, default=10, metavar="N",
+                              help="offline bootstrap epochs (default 10)")
+    bench_stream.add_argument("--out", metavar="FILE",
+                              default="BENCH_stream.json",
+                              help="JSON report path "
+                                   "(default BENCH_stream.json)")
+    add_profile_option(bench_stream)
     return parser
 
 
@@ -659,7 +777,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_inspect_run(args: argparse.Namespace) -> int:
     try:
-        if args.spans:
+        if args.stream:
+            print(render_stream(summarize_stream(read_trace(args.trace))))
+        elif args.spans:
             trees = summarize_spans(read_trace(args.trace))
             print(render_spans(trees))
         else:
@@ -991,6 +1111,136 @@ def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_noise_burst(value: str | None) -> tuple[int, int] | None:
+    if value is None:
+        return None
+    start, sep, end = value.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        return int(start), int(end)
+    except ValueError:
+        raise SystemExit("--noise-burst expects START:END window indices, "
+                         "e.g. 10:16")
+
+
+def _stream_bootstrap(args: argparse.Namespace, registry: ModelRegistry,
+                      processed) -> str:
+    """Ensure the registry has a production version; returns its name."""
+    try:
+        return registry.production()
+    except RegistryError:
+        if args.bootstrap_epochs < 1:
+            raise SystemExit(
+                f"stream-train: registry {args.registry} has no production "
+                f"version; publish one or pass --bootstrap-epochs N")
+    model = create_model(args.model, processed.schema, seed=args.seed + 1)
+    trainer = Trainer(TrainConfig(epochs=args.bootstrap_epochs,
+                                  batch_size=128, seed=args.seed + 1))
+    result = trainer.fit(model, processed.train, processed.validation)
+    print(f"bootstrap: {args.model} offline validation {result.validation}")
+    with tempfile.TemporaryDirectory(prefix="stream-bootstrap-") as tmp:
+        artifact = export_artifact(
+            model, Path(tmp) / "artifact", model_name=args.model,
+            metadata={"dataset": processed.schema.name,
+                      "val_auc": result.validation.auc})
+        version = registry.publish(artifact, promote=True)
+    print(f"bootstrap: published {version} (production)")
+    return version
+
+
+def _cmd_stream_train(args: argparse.Namespace) -> int:
+    world = InterestWorld(make_config(args.dataset, scale=args.scale,
+                                      seed=args.seed))
+    processed = build_ctr_data(world, seed=args.seed + 1)
+    try:
+        stream_config = StreamConfig(
+            num_windows=args.windows,
+            impressions_per_window=args.impressions,
+            seed=args.stream_seed,
+            drift_window=args.drift_window,
+            drift_fraction=args.drift_fraction,
+            cold_fraction=args.cold_fraction,
+            cold_start_window=args.cold_start_window,
+            cold_users_per_window=args.cold_per_window,
+            cold_activity=args.cold_activity,
+            noise_rate=args.noise_rate,
+            noise_burst=_parse_noise_burst(args.noise_burst),
+            noise_burst_rate=args.noise_burst_rate)
+    except ValueError as exc:
+        raise SystemExit(f"stream-train: {exc}")
+    stream = ClickStream(world, processed, stream_config)
+    registry = ModelRegistry(args.registry)
+    version = _stream_bootstrap(args, registry, processed)
+    observers = _build_observers(args)
+    tracer, owned_writer = _build_tracer(args, observers)
+    if tracer is not None:
+        set_tracer(tracer)
+
+    def factory(session):
+        return ScoringEngine(session, max_batch_size=64, max_wait_ms=0.5,
+                             num_workers=1, cache_size=0)
+
+    router = ModelRouter(factory)
+    router.deploy_primary(_load_session(registry.path(version)), version)
+    trainer = IncrementalTrainer.from_artifact(
+        registry.path(version),
+        IncrementalConfig(learning_rate=args.learning_rate, seed=args.seed),
+        checkpoint_dir=args.checkpoint_dir)
+    start_window = 0
+    if args.resume:
+        if not args.checkpoint_dir:
+            raise SystemExit("stream-train: --resume requires "
+                             "--checkpoint-dir")
+        start_window = trainer.resume()
+        if start_window:
+            print(f"resuming from window {start_window}")
+    export_tmp = None
+    if args.export_dir is None:
+        export_tmp = tempfile.TemporaryDirectory(prefix="stream-exports-")
+        export_dir = export_tmp.name
+    else:
+        export_dir = args.export_dir
+    controller = PromotionController(
+        registry, router, PromotionConfig(export_every=args.export_every),
+        export_dir=export_dir, model_name=args.model,
+        observers=observers)
+    loop = OnlineLoop(stream, trainer, router, controller,
+                      DriftMonitor(), observers=observers)
+    try:
+        with _maybe_profile(args):
+            result = loop.run(start_window=start_window)
+    except NumericalAnomalyError as exc:
+        print(f"stream-train: numerical anomaly not recoverable: {exc}",
+              file=sys.stderr)
+        return 1
+    finally:
+        router.close()
+        if tracer is not None:
+            set_tracer(None)
+        if owned_writer is not None:
+            owned_writer.close()
+        _close_observers(observers)
+        if export_tmp is not None:
+            export_tmp.cleanup()
+    print(json.dumps(result.summary(), indent=2))
+    if args.log_jsonl:
+        print(f"stream trace written to {args.log_jsonl} "
+              f"(view: repro inspect-run {args.log_jsonl} --stream)")
+    return 0 if result.dropped == 0 else 1
+
+
+def _cmd_bench_stream(args: argparse.Namespace) -> int:
+    with _maybe_profile(args):
+        payload = run_stream_bench(
+            scenarios=tuple(args.scenarios), seed=args.seed,
+            windows=args.windows, impressions=args.impressions,
+            epochs=args.epochs, out_path=args.out)
+    print(render_stream_report(payload))
+    print(f"report written to {args.out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "backend", None):
@@ -1001,7 +1251,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "predict": _cmd_predict, "registry": _cmd_registry,
                 "bench-serve": _cmd_bench_serve,
                 "bench-ops": _cmd_bench_ops,
-                "bench-pipeline": _cmd_bench_pipeline}
+                "bench-pipeline": _cmd_bench_pipeline,
+                "stream-train": _cmd_stream_train,
+                "bench-stream": _cmd_bench_stream}
     return handlers[args.command](args)
 
 

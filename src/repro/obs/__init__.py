@@ -15,10 +15,12 @@ from .events import (
     CallbackObserver,
     CheckpointRestoredEvent,
     CheckpointWrittenEvent,
+    DriftDetectedEvent,
     EpochStartEvent,
     EvalEndEvent,
     ModelSwappedEvent,
     ObserverList,
+    PromotionEvent,
     RequestCompletedEvent,
     RequestReceivedEvent,
     RequestShedEvent,
@@ -26,14 +28,18 @@ from .events import (
     RunObserver,
     RunStartEvent,
     ShardLoadedEvent,
+    StreamWindowEvent,
 )
 from .inspect import (
     SpanTree,
+    StreamSummary,
     TraceSummary,
     read_trace,
+    render_stream,
     render_summary,
     render_spans,
     summarize_spans,
+    summarize_stream,
     summarize_trace,
 )
 from .metrics import (
@@ -69,12 +75,14 @@ __all__ = [
     "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
     "ModelSwappedEvent", "RequestShedEvent",
     "ShardLoadedEvent",
+    "StreamWindowEvent", "DriftDetectedEvent", "PromotionEvent",
     "Counter", "Gauge", "EMAMeter", "StreamingHistogram",
     "FixedBucketHistogram", "MetricRegistry", "DEFAULT_LATENCY_BUCKETS_S",
     "PhaseStat", "PhaseTimings", "collect", "phase", "timed", "active_timings",
     "JsonlTraceWriter", "ConsoleReporter",
     "TraceSummary", "read_trace", "summarize_trace", "render_summary",
     "SpanTree", "summarize_spans", "render_spans",
+    "StreamSummary", "summarize_stream", "render_stream",
     "SpanContext", "SpanRecorder", "Tracer", "current_span", "get_tracer",
     "set_tracer", "span", "use_tracer",
     "SamplingProfiler",

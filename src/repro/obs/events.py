@@ -25,6 +25,7 @@ __all__ = [
     "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
     "ModelSwappedEvent", "RequestShedEvent",
     "ShardLoadedEvent",
+    "StreamWindowEvent", "DriftDetectedEvent", "PromotionEvent",
     "RunObserver", "BaseObserver", "ObserverList", "CallbackObserver",
 ]
 
@@ -354,6 +355,101 @@ class ShardLoadedEvent:
                 "load_ms": float(self.load_ms), "source": self.source}
 
 
+@dataclass
+class StreamWindowEvent:
+    """Emitted once per processed stream window (online-learning loop).
+
+    ``production_auc``/``production_logloss`` are the prequential metrics of
+    the *serving* model on the window (scored through the live router before
+    the learner trained on it); ``learner_auc``/``learner_logloss`` are the
+    incremental learner's own prequential metrics.
+    """
+
+    kind: ClassVar[str] = "stream_window"
+
+    window: int
+    timestamp: float
+    rows: int
+    production_version: str
+    production_auc: float
+    production_logloss: float
+    learner_auc: float
+    learner_logloss: float
+    train_loss: float | None = None
+    new_users: int = 0
+
+    def payload(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "window": int(self.window), "timestamp": float(self.timestamp),
+            "rows": int(self.rows),
+            "production_version": self.production_version,
+            "production_auc": float(self.production_auc),
+            "production_logloss": float(self.production_logloss),
+            "learner_auc": float(self.learner_auc),
+            "learner_logloss": float(self.learner_logloss),
+            "new_users": int(self.new_users)}
+        if self.train_loss is not None:
+            out["train_loss"] = float(self.train_loss)
+        return out
+
+
+@dataclass
+class DriftDetectedEvent:
+    """Emitted when a drift detector fires on a served window.
+
+    ``detector`` names the test (``score_psi`` | ``label_kl`` |
+    ``logloss_shift``); ``value`` is its statistic, ``threshold`` the level
+    it exceeded.
+    """
+
+    kind: ClassVar[str] = "drift_detected"
+
+    window: int
+    detector: str
+    value: float
+    threshold: float
+
+    def payload(self) -> dict[str, Any]:
+        return {"window": int(self.window), "detector": self.detector,
+                "value": float(self.value),
+                "threshold": float(self.threshold)}
+
+
+@dataclass
+class PromotionEvent:
+    """Emitted on every promotion-controller state change.
+
+    ``action`` is one of ``published`` (candidate entered the registry and
+    shadow), ``promoted`` (challenger became production), ``rejected``
+    (guardrails blocked it) or ``rollback`` (post-promotion regression
+    reverted production to the previous version).
+    """
+
+    kind: ClassVar[str] = "promotion"
+
+    window: int
+    action: str
+    version: str
+    reason: str | None = None
+    previous_version: str | None = None
+    challenger_auc: float | None = None
+    production_auc: float | None = None
+
+    def payload(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"window": int(self.window),
+                               "action": self.action,
+                               "version": self.version}
+        if self.reason is not None:
+            out["reason"] = self.reason
+        if self.previous_version is not None:
+            out["previous_version"] = self.previous_version
+        if self.challenger_auc is not None:
+            out["challenger_auc"] = float(self.challenger_auc)
+        if self.production_auc is not None:
+            out["production_auc"] = float(self.production_auc)
+        return out
+
+
 @runtime_checkable
 class RunObserver(Protocol):
     """The observer protocol; implement any subset of the five hooks."""
@@ -408,6 +504,15 @@ class BaseObserver:
         pass
 
     def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
+        pass
+
+    def on_stream_window(self, event: StreamWindowEvent) -> None:
+        pass
+
+    def on_drift_detected(self, event: DriftDetectedEvent) -> None:
+        pass
+
+    def on_promotion(self, event: PromotionEvent) -> None:
         pass
 
 
@@ -531,5 +636,24 @@ class ObserverList(BaseObserver):
     def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
         for obs in self.observers:
             hook = getattr(obs, "on_shard_loaded", None)
+            if hook is not None:
+                hook(event)
+
+    # Streaming / online-learning hooks (additive, schema v1).
+    def on_stream_window(self, event: StreamWindowEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_stream_window", None)
+            if hook is not None:
+                hook(event)
+
+    def on_drift_detected(self, event: DriftDetectedEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_drift_detected", None)
+            if hook is not None:
+                hook(event)
+
+    def on_promotion(self, event: PromotionEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_promotion", None)
             if hook is not None:
                 hook(event)

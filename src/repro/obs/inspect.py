@@ -14,7 +14,8 @@ from typing import Any
 from .events import SCHEMA_VERSION
 
 __all__ = ["TraceSummary", "read_trace", "summarize_trace", "render_summary",
-           "SpanTree", "summarize_spans", "render_spans"]
+           "SpanTree", "summarize_spans", "render_spans",
+           "StreamSummary", "summarize_stream", "render_stream"]
 
 
 @dataclass
@@ -226,6 +227,85 @@ def render_spans(trees: list[SpanTree], width: int = 40,
         lines.append(f"  {name:<26}{len(values):>7}{sum(values):>11.3f}"
                      f"{sum(values) / len(values):>10.3f}"
                      f"{max(values):>10.3f}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Streaming timeline (``inspect-run PATH --stream``)
+# ---------------------------------------------------------------------------
+@dataclass
+class StreamSummary:
+    """Digest of a streaming run's additive events in one trace."""
+
+    windows: list[dict[str, Any]] = field(default_factory=list)
+    drift: list[dict[str, Any]] = field(default_factory=list)
+    promotions: list[dict[str, Any]] = field(default_factory=list)
+
+
+def summarize_stream(events: list[dict[str, Any]]) -> StreamSummary:
+    """Collect the ``stream_window``/``drift_detected``/``promotion`` events."""
+    summary = StreamSummary()
+    buckets = {"stream_window": summary.windows,
+               "drift_detected": summary.drift,
+               "promotion": summary.promotions}
+    for record in events:
+        bucket = buckets.get(record.get("event"))
+        if bucket is not None:
+            bucket.append(record)
+    return summary
+
+
+def render_stream(summary: StreamSummary, width: int = 24) -> str:
+    """Prequential timeline: per-window AUC bars with drift and promotion
+    markers, then the promotion/rollback history."""
+    if not summary.windows:
+        return ("no streaming events in this trace "
+                "(record one via `repro stream-train --log-jsonl PATH`)")
+    drift_by_window: dict[int, list[str]] = {}
+    for record in summary.drift:
+        drift_by_window.setdefault(record["window"], []).append(
+            record["detector"])
+    promo_by_window: dict[int, list[dict[str, Any]]] = {}
+    for record in summary.promotions:
+        promo_by_window.setdefault(record["window"], []).append(record)
+    aucs = [w["production_auc"] for w in summary.windows]
+    lo, hi = min(aucs), max(aucs)
+    span = max(hi - lo, 1e-9)
+    lines = [f"Streaming run: {len(summary.windows)} windows, "
+             f"{len(summary.drift)} drift signal(s), "
+             f"{len(summary.promotions)} promotion event(s)",
+             "",
+             f"  {'w':>4}{'version':>9}{'prod AUC':>10}{'learner':>9}"
+             f"  {'':{width}}  events"]
+    for record in summary.windows:
+        window = record["window"]
+        filled = int(round((record["production_auc"] - lo) / span * width))
+        bar = "▇" * filled + "·" * (width - filled)
+        marks = []
+        for detector in drift_by_window.get(window, []):
+            marks.append(f"DRIFT[{detector}]")
+        for promo in promo_by_window.get(window, []):
+            label = promo["action"].upper()
+            if promo.get("version"):
+                label += f" {promo['version']}"
+            marks.append(label)
+        lines.append(f"  {window:>4}{record['production_version']:>9}"
+                     f"{record['production_auc']:>10.4f}"
+                     f"{record['learner_auc']:>9.4f}  {bar}  "
+                     + " ".join(marks))
+    lines.append(f"  (bars span AUC [{lo:.3f}, {hi:.3f}])")
+    if summary.promotions:
+        lines.append("")
+        lines.append("Promotion history:")
+        for record in summary.promotions:
+            reason = f" ({record['reason']})" if record.get("reason") else ""
+            detail = ""
+            if record.get("challenger_auc") is not None:
+                detail = (f"  challenger={record['challenger_auc']:.4f}"
+                          f" vs production={record['production_auc']:.4f}")
+            lines.append(f"  w{record['window']:<4} "
+                         f"{record['action']:<10} {record.get('version')}"
+                         f"{reason}{detail}")
     return "\n".join(lines)
 
 

@@ -17,15 +17,18 @@ from .events import (
     BatchFlushedEvent,
     CheckpointRestoredEvent,
     CheckpointWrittenEvent,
+    DriftDetectedEvent,
     EpochStartEvent,
     EvalEndEvent,
     ModelSwappedEvent,
+    PromotionEvent,
     RequestCompletedEvent,
     RequestReceivedEvent,
     RequestShedEvent,
     RunEndEvent,
     RunStartEvent,
     ShardLoadedEvent,
+    StreamWindowEvent,
 )
 
 __all__ = ["JsonlTraceWriter", "ConsoleReporter"]
@@ -118,6 +121,15 @@ class JsonlTraceWriter(BaseObserver):
     def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
         self._write(event.kind, event.payload())
 
+    def on_stream_window(self, event: StreamWindowEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_drift_detected(self, event: DriftDetectedEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_promotion(self, event: PromotionEvent) -> None:
+        self._write(event.kind, event.payload())
+
     def write_span(self, record: dict) -> None:
         """Span-sink protocol (see :class:`repro.obs.trace.Tracer`): spans
         share the run-trace file as additive ``span`` events."""
@@ -199,6 +211,24 @@ class ConsoleReporter(BaseObserver):
                     f"waited {event.wait_ms:.1f}ms, "
                     f"forward {event.forward_ms:.1f}ms, "
                     f"queue depth {event.queue_depth}")
+
+    def on_stream_window(self, event: StreamWindowEvent) -> None:
+        self._print(f"[obs] window {event.window:>4} "
+                    f"prod[{event.production_version}] "
+                    f"AUC={event.production_auc:.4f} "
+                    f"learner AUC={event.learner_auc:.4f} "
+                    f"({event.rows} rows)")
+
+    def on_drift_detected(self, event: DriftDetectedEvent) -> None:
+        self._print(f"[obs] DRIFT {event.detector} @ window {event.window}: "
+                    f"{event.value:.4f} > {event.threshold:g}")
+
+    def on_promotion(self, event: PromotionEvent) -> None:
+        line = (f"[obs] promotion {event.action}: {event.version} "
+                f"@ window {event.window}")
+        if event.reason:
+            line += f" ({event.reason})"
+        self._print(line)
 
     def on_run_end(self, event: RunEndEvent) -> None:
         self._print(f"[obs] run end: best epoch {event.best_epoch} "

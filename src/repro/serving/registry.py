@@ -72,10 +72,20 @@ class ModelRegistry:
         self.root = Path(root)
         self.models_dir = self.root / MODELS_DIR
         self.models_dir.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_staging()
         if not (self.root / STATE_NAME).exists():
             self._write_state({"production": None, "shadow": None,
                                "challenger": None,
                                "challenger_fraction": 0.0})
+
+    def _sweep_stale_staging(self) -> None:
+        """Remove ``.incoming-*`` staging dirs left behind by a crashed
+        publish.  Safe on open: a live publish's staging dir only exists
+        within the ``publish`` call itself, and a version becomes visible
+        solely through the atomic rename out of staging."""
+        for stale in self.models_dir.glob(".incoming-*"):
+            if stale.is_dir():
+                shutil.rmtree(stale, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # State file
@@ -107,8 +117,15 @@ class ModelRegistry:
     # Versions
     # ------------------------------------------------------------------
     def versions(self) -> list[str]:
-        """Published version names, oldest-first by numeric suffix then name."""
-        found = [p.name for p in self.models_dir.iterdir() if p.is_dir()]
+        """Published version names, oldest-first by numeric suffix then name.
+
+        Only fully-published versions count: names are filtered against the
+        publish-time pattern, so an in-flight or crash-left ``.incoming-*``
+        staging directory never shows up (and can never shadow a version
+        name in ``_next_version``).
+        """
+        found = [p.name for p in self.models_dir.iterdir()
+                 if p.is_dir() and _VERSION_RE.match(p.name)]
 
         def sort_key(name: str):
             match = re.search(r"(\d+)$", name)

@@ -1,0 +1,263 @@
+"""Incremental trainer: prequential validation over stream windows.
+
+Online learning has no held-out split — the stream itself is the validator.
+Each window is first *scored* by the current model (that is the prequential,
+or progressive, evaluation: the model predicts rows it has never trained on),
+and only then *trained on*.  The sequence of per-window AUC/logloss values is
+therefore an honest estimate of live performance, and it is exactly what the
+promotion controller compares between learner and production.
+
+The trainer warm-starts from a registry artifact
+(:meth:`IncrementalTrainer.from_artifact`), checkpoints its full state per
+window through :class:`~repro.resilience.RunCheckpoint` (window index rides
+in the checkpoint's ``epoch`` field), and reuses the offline
+:class:`~repro.resilience.AnomalyGuard`: a NaN/spike during a window rolls
+the model back to the last good window and retries with a reduced learning
+rate, under the guard's bounded retry budget.
+
+Windows are trained in arrival order without shuffling, so a resumed run
+(restore checkpoint, fast-forward the stream) continues bit-identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..data.batching import CTRDataset, DataLoader
+from ..models.base import CTRModel
+from ..nn import Adam, clip_grad_norm
+from ..resilience import (
+    AnomalyGuard,
+    AnomalySignal,
+    CheckpointStore,
+    NumericalAnomalyError,
+    RunCheckpoint,
+    named_rng_states,
+    restore_rng_states,
+    rng_state,
+    set_rng_state,
+)
+from ..serving.artifact import load_artifact
+from ..training.metrics import EvalResult
+from ..training.trainer import evaluate
+
+__all__ = ["IncrementalConfig", "WindowResult", "IncrementalTrainer"]
+
+
+@dataclass(frozen=True)
+class IncrementalConfig:
+    """Hyper-parameters of the online learner."""
+
+    learning_rate: float = 5e-3
+    weight_decay: float = 1e-5
+    grad_clip: float = 10.0
+    batch_size: int = 64
+    passes_per_window: int = 1
+    eval_batch_size: int = 512
+    seed: int = 0
+
+    def __post_init__(self):
+        if not math.isfinite(self.learning_rate) or self.learning_rate <= 0:
+            raise ValueError("learning_rate must be finite and positive")
+        if not math.isfinite(self.weight_decay) or self.weight_decay < 0:
+            raise ValueError("weight_decay must be finite and non-negative")
+        if not math.isfinite(self.grad_clip) or self.grad_clip <= 0:
+            raise ValueError("grad_clip must be finite and positive")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.passes_per_window < 1:
+            raise ValueError("passes_per_window must be >= 1")
+        if self.eval_batch_size < 1:
+            raise ValueError("eval_batch_size must be >= 1")
+
+
+@dataclass
+class WindowResult:
+    """Prequential outcome of one window: evaluate-then-train."""
+
+    window: int
+    rows: int
+    auc: float          # pre-training AUC on the window
+    logloss: float      # pre-training logloss on the window
+    train_loss: float   # mean training loss after the prequential eval
+
+
+class IncrementalTrainer:
+    """Evaluate-then-train consumer of stream windows."""
+
+    def __init__(self, model: CTRModel, config: IncrementalConfig, *,
+                 checkpoint_dir: str | Path | None = None,
+                 keep_checkpoints: int = 3,
+                 anomaly_guard=True):
+        self.model = model
+        self.config = config
+        self.optimizer = Adam(model.parameters(), lr=config.learning_rate,
+                              weight_decay=config.weight_decay)
+        self.store = (CheckpointStore(checkpoint_dir,
+                                      keep_last=keep_checkpoints)
+                      if checkpoint_dir is not None else None)
+        self.guard = AnomalyGuard.build(anomaly_guard)
+        # Serialised alongside the run so RunCheckpoint round-trips cleanly;
+        # window training itself is order-preserving and draws nothing.
+        self._rng = np.random.default_rng(config.seed)
+        self.windows_done = 0
+        self.step = 0
+        self.history: list[WindowResult] = []
+        if self.guard is not None:
+            self.guard.snapshot(self._capture())
+
+    @classmethod
+    def from_artifact(cls, path: str | Path, config: IncrementalConfig,
+                      **kwargs) -> "IncrementalTrainer":
+        """Warm-start from an exported serving artifact (digest-verified)."""
+        model, _ = load_artifact(path)
+        model.train()
+        return cls(model, config, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Prequential step
+    # ------------------------------------------------------------------
+    def process_window(self, data: CTRDataset, window: int) -> WindowResult:
+        """Evaluate the model on ``data``, then train on it.
+
+        The evaluation runs through the deterministic blocked forward (the
+        same path serving uses), so learner prequential metrics are directly
+        comparable to production's scores of the same rows.
+        """
+        pre = self.prequential_eval(data)
+        while True:
+            try:
+                train_loss = self._train_on(data)
+                break
+            except AnomalySignal as signal_:
+                self._recover(signal_)
+        result = WindowResult(window=window, rows=len(data), auc=pre.auc,
+                              logloss=pre.logloss, train_loss=train_loss)
+        self.history.append(result)
+        self.windows_done = window + 1
+        checkpoint = self._capture()
+        if self.store is not None:
+            self.store.save(checkpoint)
+        if self.guard is not None:
+            self.guard.snapshot(checkpoint)
+        return result
+
+    def prequential_eval(self, data: CTRDataset) -> EvalResult:
+        return evaluate(self.model, data,
+                        batch_size=self.config.eval_batch_size)
+
+    def _train_on(self, data: CTRDataset) -> float:
+        cfg = self.config
+        self.model.train()
+        loader = DataLoader(data, batch_size=cfg.batch_size, shuffle=False)
+        total = 0.0
+        batches = 0
+        for _ in range(cfg.passes_per_window):
+            for batch in loader:
+                self.optimizer.zero_grad()
+                loss = self.model.training_loss(batch)
+                value = loss.item()
+                if self.guard is not None:
+                    kind = self.guard.check_loss(value)
+                    if kind is not None:
+                        raise AnomalySignal(kind, value, self.step + 1,
+                                            self.windows_done)
+                loss.backward()
+                grad_norm = clip_grad_norm(self.optimizer.parameters,
+                                           cfg.grad_clip)
+                if self.guard is not None:
+                    kind = self.guard.check_grad_norm(grad_norm)
+                    if kind is not None:
+                        raise AnomalySignal(kind, grad_norm, self.step + 1,
+                                            self.windows_done)
+                self.optimizer.step()
+                if self.guard is not None:
+                    self.guard.record(value)
+                total += value
+                batches += 1
+                self.step += 1
+        return total / max(batches, 1)
+
+    def _recover(self, signal_: AnomalySignal) -> None:
+        guard = self.guard
+        if guard is None:  # pragma: no cover - signals only raised with guard
+            raise signal_
+        guard.retries += 1
+        if guard.retries > guard.config.max_retries or guard.last_good is None:
+            raise NumericalAnomalyError(
+                f"{signal_.kind} at stream step {signal_.step} "
+                f"(value={signal_.value!r}); retry budget of "
+                f"{guard.config.max_retries} exhausted") from signal_
+        lr_at_failure = self.optimizer.lr
+        self._restore(guard.last_good)
+        guard.retries = max(guard.retries, guard.last_good.anomaly_retries)
+        self.optimizer.lr = lr_at_failure * guard.config.backoff_factor
+        guard.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _capture(self) -> RunCheckpoint:
+        return RunCheckpoint(
+            model_state=self.model.state_dict(),
+            optimizer_state=self.optimizer.state_dict(),
+            loader_rng_state=rng_state(self._rng),
+            module_rng_states=named_rng_states(self.model),
+            epoch=self.windows_done,     # next window to process
+            batches_done=0,
+            step=self.step,
+            best_auc=float("-inf"),
+            best_epoch=-1,
+            bad_epochs=0,
+            history=[{"auc": float(r.auc), "logloss": float(r.logloss)}
+                     for r in self.history],
+            train_losses=[float(r.train_loss) for r in self.history],
+            epochs_run=self.windows_done,
+            anomaly_retries=(self.guard.retries
+                             if self.guard is not None else 0),
+            config={"kind": "streaming", **self.config.__dict__},
+        )
+
+    def _restore(self, ckpt: RunCheckpoint) -> None:
+        self.model.load_state_dict(ckpt.model_state)
+        self.optimizer.load_state_dict(ckpt.optimizer_state)
+        restore_rng_states(self.model, ckpt.module_rng_states)
+        set_rng_state(self._rng, ckpt.loader_rng_state)
+        self.windows_done = ckpt.epoch
+        self.step = ckpt.step
+        del self.history[ckpt.epoch:]
+
+    def resume(self) -> int:
+        """Restore the latest per-window checkpoint; returns the next window.
+
+        The caller fast-forwards the stream with ``windows(start=...)`` and
+        continues; weights, optimiser moments, and module RNG streams are all
+        restored, so the continuation is bit-identical to an uninterrupted
+        run over the same stream.
+        """
+        if self.store is None:
+            raise ValueError("resume requires a checkpoint_dir")
+        ckpt, _, _ = self.store.load_latest()
+        if ckpt is None:
+            return 0
+        # History rows round-trip as (auc, logloss); train losses ride in
+        # the parallel train_losses list.
+        self.model.load_state_dict(ckpt.model_state)
+        self.optimizer.load_state_dict(ckpt.optimizer_state)
+        restore_rng_states(self.model, ckpt.module_rng_states)
+        set_rng_state(self._rng, ckpt.loader_rng_state)
+        self.windows_done = ckpt.epoch
+        self.step = ckpt.step
+        self.history = [
+            WindowResult(window=i, rows=0, auc=row["auc"],
+                         logloss=row["logloss"],
+                         train_loss=ckpt.train_losses[i])
+            for i, row in enumerate(ckpt.history)]
+        if self.guard is not None:
+            self.guard.retries = ckpt.anomaly_retries
+            self.guard.snapshot(ckpt)
+        return self.windows_done

@@ -145,6 +145,26 @@ class TestModelRegistry:
         leftovers = [p.name for p in registry.models_dir.iterdir()]
         assert leftovers == []  # staging directory cleaned up
 
+    def test_stale_staging_dir_is_invisible_and_swept(self, tmp_path,
+                                                      artifact):
+        """A crash-left ``.incoming-<v>`` dir must never appear in
+        ``versions()`` nor steal the next auto version name."""
+        registry = ModelRegistry(tmp_path / "reg")
+        registry.publish(artifact)  # v1
+        # Simulate a publisher that died mid-copy: staging dir left behind.
+        stale = registry.models_dir / ".incoming-v2"
+        stale.mkdir()
+        (stale / WEIGHTS_NAME).write_bytes(b"half-copied")
+        assert registry.versions() == ["v1"]
+        assert registry.publish(artifact) == "v2"
+        assert registry.versions() == ["v1", "v2"]
+        # Re-opening the registry sweeps the leftover from disk.
+        stale2 = registry.models_dir / ".incoming-v9"
+        stale2.mkdir()
+        reopened = ModelRegistry(tmp_path / "reg")
+        assert not stale2.exists()
+        assert reopened.versions() == ["v1", "v2"]
+
     def test_promote_clears_conflicting_roles(self, tmp_path, artifact):
         registry = ModelRegistry(tmp_path / "reg")
         registry.publish(artifact, version="v1", promote=True)
