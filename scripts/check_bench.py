@@ -67,6 +67,12 @@ TOLERANCE_OVERRIDES = {
     "ops.fused_mlp": 0.60,
 }
 
+#: Hard line for the 2-worker distributed configuration: whatever the
+#: baseline says, two workers slower than 1.2x of one worker means the
+#: partition-locality win is gone.  (The committed baseline is ~2.6x; the
+#: generic tolerance band usually binds first.)
+DIST_W2_FLOOR = 1.2
+
 
 def _load(path: Path) -> dict:
     try:
@@ -190,6 +196,66 @@ def check_stream(baseline: dict, candidate: dict,
     return rows
 
 
+def _distributed_speedups(report: dict) -> dict[int, float]:
+    """Scaling ratio per worker count, recomputed from raw rows/sec (an
+    edited ``speedup_vs_single`` field cannot mask a doctored timing)."""
+    rates = {int(row["num_procs"]): float(row["rows_per_s"])
+             for row in report.get("results", [])}
+    if 1 not in rates or len(rates) < 2:
+        print("check_bench: distributed report lacks a single-proc baseline "
+              "or scaled configurations", file=sys.stderr)
+        raise SystemExit(2)
+    single = rates.pop(1)
+    return {w: rate / single for w, rate in rates.items()}
+
+
+def check_distributed(baseline: dict, candidate: dict,
+                      tolerance: float = DEFAULT_TOLERANCE,
+                      floor: float = DEFAULT_FLOOR) -> list[dict]:
+    """Rows for the distributed scaling report.
+
+    Three kinds of gate: banded rows/sec scaling per worker count (with a
+    hard 2-worker floor of ``DIST_W2_FLOOR``), zero failed ranks in every
+    candidate configuration, and the determinism contract — the 2-process
+    loss trajectory must be bitwise identical to its emulation and the
+    final parameter divergence exactly zero.  Determinism failures are
+    correctness bugs, not noise, so no tolerance applies to them.
+    """
+    base = _distributed_speedups(baseline)
+    cand = _distributed_speedups(candidate)
+    rows = []
+    for workers, base_ratio in sorted(base.items()):
+        metric = f"distributed.scaling_w{workers}"
+        hard_floor = DIST_W2_FLOOR if workers == 2 else floor
+        if workers not in cand:
+            rows.append({"metric": metric, "baseline": base_ratio,
+                         "candidate": None, "allowed": None, "ok": False})
+            continue
+        rows.append(_check(metric, base_ratio, cand[workers],
+                           tolerance, hard_floor))
+    for row in candidate.get("results", []):
+        failed = float(row.get("failed_ranks", 0))
+        rows.append({"metric": f"distributed.failed_ranks_w"
+                               f"{int(row['num_procs'])}",
+                     "baseline": 0.0, "candidate": failed,
+                     "allowed": 0.0, "ok": failed == 0.0})
+    bit = candidate.get("bit_identity")
+    if bit is None:
+        rows.append({"metric": "distributed.loss_trajectory_identical",
+                     "baseline": 1.0, "candidate": None,
+                     "allowed": None, "ok": False})
+        return rows
+    identical = bool(bit.get("loss_trajectory_identical"))
+    rows.append({"metric": "distributed.loss_trajectory_identical",
+                 "baseline": 1.0, "candidate": 1.0 if identical else 0.0,
+                 "allowed": 1.0, "ok": identical})
+    divergence = float(bit.get("max_param_divergence", float("inf")))
+    rows.append({"metric": "distributed.max_param_divergence",
+                 "baseline": 0.0, "candidate": divergence,
+                 "allowed": 0.0, "ok": divergence == 0.0})
+    return rows
+
+
 def dispatch(path: Path, payload: dict, args) -> list[dict] | None:
     """Route a report to its checker by content; None = unknown kind."""
     if "kernels" in payload:
@@ -202,6 +268,9 @@ def dispatch(path: Path, payload: dict, args) -> list[dict] | None:
     if kind == "stream":
         return check_stream(_load(args.baseline_stream), payload,
                             args.latency_slack)
+    if kind == "distributed":
+        return check_distributed(_load(args.baseline_distributed), payload,
+                                 args.tolerance, args.floor)
     return None
 
 
@@ -236,6 +305,11 @@ def main(argv: list[str] | None = None) -> int:
                         default=REPO_ROOT / "BENCH_stream.json")
     parser.add_argument("--candidate-stream", type=Path, default=None,
                         help="fresh `repro bench-stream` report to check")
+    parser.add_argument("--baseline-distributed", type=Path,
+                        default=REPO_ROOT / "BENCH_distributed.json")
+    parser.add_argument("--candidate-distributed", type=Path, default=None,
+                        help="fresh `repro bench-distributed` report to "
+                             "check")
     parser.add_argument("--candidate", type=Path, action="append",
                         default=[], metavar="PATH",
                         help="report of any kind, dispatched by content; "
@@ -255,10 +329,11 @@ def main(argv: list[str] | None = None) -> int:
                              "%(default)s: never slower than reference)")
     args = parser.parse_args(argv)
     if (args.candidate_ops is None and args.candidate_pipeline is None
-            and args.candidate_stream is None and not args.candidate):
+            and args.candidate_stream is None
+            and args.candidate_distributed is None and not args.candidate):
         parser.error("nothing to check: pass --candidate-ops, "
-                     "--candidate-pipeline, --candidate-stream and/or "
-                     "--candidate")
+                     "--candidate-pipeline, --candidate-stream, "
+                     "--candidate-distributed and/or --candidate")
 
     rows = []
     if args.candidate_ops is not None:
@@ -273,6 +348,10 @@ def main(argv: list[str] | None = None) -> int:
         rows += check_stream(_load(args.baseline_stream),
                              _load(args.candidate_stream),
                              args.latency_slack)
+    if args.candidate_distributed is not None:
+        rows += check_distributed(_load(args.baseline_distributed),
+                                  _load(args.candidate_distributed),
+                                  args.tolerance, args.floor)
     for path in args.candidate:
         payload = _load(path)
         checked = dispatch(path, payload, args)

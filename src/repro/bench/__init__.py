@@ -10,6 +10,7 @@ from .configs import (
     bench_seeds,
     bench_train_config,
 )
+from .distributed import render_distributed_report, run_distributed_bench
 from .micro import KERNEL_NAMES, render_report, run_micro
 from .pipeline import render_pipeline_report, run_pipeline_bench
 from .runner import (
@@ -28,4 +29,5 @@ __all__ = [
     "ssl_factory", "render_metric_table", "render_series",
     "KERNEL_NAMES", "run_micro", "render_report",
     "run_pipeline_bench", "render_pipeline_report",
+    "run_distributed_bench", "render_distributed_report",
 ]

@@ -102,7 +102,7 @@ from .obs import (
     summarize_stream,
     summarize_trace,
 )
-from .nn.backend import BACKEND_NAMES, set_backend
+from .nn.backend import BACKEND_NAMES, get_backend, set_backend
 from .resilience import NumericalAnomalyError, TrainingInterrupted
 from .serving import (
     AdmissionController,
@@ -131,7 +131,7 @@ from .streaming import (
     PromotionController,
     StreamConfig,
 )
-from .training import TrainConfig, Trainer, run_experiment
+from .training import TrainConfig, Trainer, calibrated_eval, run_experiment
 
 __all__ = ["main", "build_parser"]
 
@@ -181,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="SSL loss weight α1 = α2 for the MISS variant")
         p.add_argument("--temperature", type=float, default=0.1,
                        help="InfoNCE temperature τ for the MISS variant")
+        p.add_argument("--batch-size", type=int, default=128, metavar="N",
+                       help="training batch size (default 128, the paper's; "
+                            "per-rank with --num-procs, so the global batch "
+                            "scales with the worker count)")
         p.add_argument("--eval-batch-size", type=int, default=512,
                        metavar="N",
                        help="rows per evaluation forward (default 512; "
@@ -232,6 +236,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="train from a sharded on-disk dataset in DIR "
                             "(written on first use; verified by checksum "
                             "on every load)")
+    train.add_argument("--num-procs", type=int, metavar="N", default=1,
+                       help="data-parallel worker processes (default 1 = "
+                            "the plain in-process trainer); each rank owns "
+                            "a disjoint shard partition and --batch-size "
+                            "is per-rank, so the global batch scales N-fold")
+    train.add_argument("--dist-emulate", action="store_true",
+                       help="run the --num-procs rank schedule inside one "
+                            "process (the bit-identity comparator; no "
+                            "checkpointing)")
 
     compare = sub.add_parser("compare", help="train several models")
     add_common(compare)
@@ -455,6 +468,35 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default BENCH_pipeline.json)")
     add_trace_options(bench_pipe)
     add_profile_option(bench_pipe)
+
+    bench_dist = sub.add_parser(
+        "bench-distributed",
+        help="benchmark data-parallel training throughput at several "
+             "worker counts and assert process-vs-emulation bit-identity")
+    bench_dist.add_argument("--dataset", choices=DATASET_NAMES,
+                            default="amazon-cds")
+    bench_dist.add_argument("--scale", type=float, default=0.4)
+    bench_dist.add_argument("--seed", type=int, default=0)
+    bench_dist.add_argument("--rows", type=int, default=8192, metavar="N",
+                            help="train split is tiled to ~N rows "
+                                 "(default 8192)")
+    bench_dist.add_argument("--num-shards", type=int, default=8, metavar="S",
+                            help="training shard count; partitions must "
+                                 "cover it (default 8)")
+    bench_dist.add_argument("--batch-size", type=int, default=64,
+                            metavar="B", help="per-rank micro-batch "
+                                              "(default 64)")
+    bench_dist.add_argument("--epochs", type=int, default=2,
+                            help="epochs per configuration; the best "
+                                 "epoch's step loop is scored (default 2)")
+    bench_dist.add_argument("--procs", type=int, nargs="+",
+                            default=[1, 2, 4], metavar="N",
+                            help="worker counts to time (default 1 2 4; "
+                                 "must include 1)")
+    bench_dist.add_argument("--out", metavar="FILE",
+                            default="BENCH_distributed.json",
+                            help="JSON report path "
+                                 "(default BENCH_distributed.json)")
 
     stream = sub.add_parser(
         "stream-train",
@@ -688,6 +730,7 @@ def _train_one(model_name: str, args: argparse.Namespace, data,
     model, label, _ = _build_model(model_name, args, data, miss)
     config = TrainConfig(epochs=args.epochs, learning_rate=args.learning_rate,
                          weight_decay=1e-5, patience=4, seed=args.seed,
+                         batch_size=getattr(args, "batch_size", 128),
                          eval_batch_size=args.eval_batch_size,
                          num_workers=args.num_workers,
                          prefetch_depth=args.prefetch_depth)
@@ -710,11 +753,92 @@ def _train_one(model_name: str, args: argparse.Namespace, data,
     return result
 
 
+def _train_distributed(args: argparse.Namespace, data) -> int:
+    from dataclasses import asdict
+
+    from .distributed import DistSpec, DistributedRunError, \
+        prepare_dist_data, run_distributed
+
+    if args.num_procs < 1:
+        raise SystemExit("--num-procs must be >= 1")
+    if args.anomaly_guard:
+        raise SystemExit("--anomaly-guard is not supported with --num-procs "
+                         "> 1 (the guard's rollback protocol is "
+                         "single-process)")
+    if args.num_workers > 0:
+        raise SystemExit("--num-workers prefetching and --num-procs are "
+                         "mutually exclusive; ranks already overlap I/O")
+    if args.dist_emulate and (args.resume or args.checkpoint_dir):
+        raise SystemExit("--dist-emulate runs start-to-finish without "
+                         "checkpoints; drop --resume/--checkpoint-dir or "
+                         "use process mode")
+    base = Path(args.shard_dir) if args.shard_dir else \
+        Path(tempfile.mkdtemp(prefix="repro-dist-data-"))
+    # Size shards so every rank owns several (partition granularity AND the
+    # cache-locality win need shard count >= a few multiples of world size).
+    target_shards = max(8, args.num_procs * 4)
+    shard_size = max(1, -(-len(data.train) // target_shards))
+    train_dir, val_dir = prepare_dist_data(data.train, data.validation, base,
+                                           shard_size=shard_size)
+    miss_config = None
+    if args.miss:
+        miss_config = MISSConfig(alpha_interest=args.alpha,
+                                 alpha_feature=args.alpha,
+                                 temperature=args.temperature,
+                                 seed=args.seed + 2)
+    spec = DistSpec(
+        model_name=args.model,
+        miss=asdict(miss_config) if miss_config is not None else None,
+        model_seed=args.seed + 1,
+        backend=get_backend().name,
+        train_dir=str(train_dir), val_dir=str(val_dir),
+        config=dict(epochs=args.epochs, learning_rate=args.learning_rate,
+                    weight_decay=1e-5, patience=4, seed=args.seed,
+                    batch_size=args.batch_size,
+                    eval_batch_size=args.eval_batch_size),
+        world_size=args.num_procs,
+        cache_shards=8,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=(args.checkpoint_every if args.checkpoint_dir
+                          else None),
+        keep_checkpoints=args.keep_checkpoints,
+        log_jsonl=args.log_jsonl)
+    try:
+        result = run_distributed(spec, resume=args.resume,
+                                 emulate=args.dist_emulate)
+    except DistributedRunError as exc:
+        print(f"train: {exc}", file=sys.stderr)
+        if args.checkpoint_dir:
+            print("train: rerun with --resume to continue bit-identically",
+                  file=sys.stderr)
+        return 1
+    # Load the selected weights into a fresh model for the calibrated
+    # test-split evaluation every training entry point reports.
+    from .distributed import build_model
+    model = build_model(spec, data.schema)
+    model.load_state_dict(result.final_state)
+    model.eval()
+    validation, test = calibrated_eval(model, data,
+                                       batch_size=args.eval_batch_size)
+    label = f"{args.model}-MISS" if args.miss else args.model
+    mode = result.mode if result.mode != "process" else \
+        f"{result.world_size} procs"
+    print(f"{label} on {args.dataset} [{mode}]: best epoch "
+          f"{result.best_epoch}, {result.steps} steps, "
+          f"wall {result.wall_time_s:.1f}s")
+    print(f"{label} on {args.dataset}: test {test}")
+    if args.log_jsonl:
+        print(f"per-rank traces written to {args.log_jsonl}.rank<r>")
+    return 0
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
     data = load_dataset(args.dataset, scale=args.scale, seed=args.seed,
                         cache_dir=args.cache_dir)
+    if args.num_procs > 1 or args.dist_emulate:
+        return _train_distributed(args, data)
     observers = _build_observers(args)
     tracer, owned_writer = _build_tracer(args, observers)
     if tracer is not None:
@@ -1111,6 +1235,21 @@ def _cmd_bench_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_distributed(args: argparse.Namespace) -> int:
+    from .bench.distributed import (
+        render_distributed_report,
+        run_distributed_bench,
+    )
+    payload = run_distributed_bench(
+        dataset=args.dataset, scale=args.scale, seed=args.seed,
+        rows=args.rows, num_shards=args.num_shards,
+        batch_size=args.batch_size, epochs=args.epochs,
+        proc_counts=tuple(args.procs), out_path=args.out)
+    print(render_distributed_report(payload))
+    print(f"report written to {args.out}")
+    return 0
+
+
 def _parse_noise_burst(value: str | None) -> tuple[int, int] | None:
     if value is None:
         return None
@@ -1252,6 +1391,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "bench-serve": _cmd_bench_serve,
                 "bench-ops": _cmd_bench_ops,
                 "bench-pipeline": _cmd_bench_pipeline,
+                "bench-distributed": _cmd_bench_distributed,
                 "stream-train": _cmd_stream_train,
                 "bench-stream": _cmd_bench_stream}
     return handlers[args.command](args)

@@ -25,6 +25,8 @@ from .shards import (
     SHARD_FORMAT_VERSION,
     ShardCorruptError,
     ShardedCTRDataset,
+    ShardPartitionView,
+    partition_shards,
     write_shards,
 )
 
@@ -40,5 +42,7 @@ __all__ = [
     "SHARD_FORMAT_VERSION",
     "ShardCorruptError",
     "ShardedCTRDataset",
+    "ShardPartitionView",
+    "partition_shards",
     "write_shards",
 ]

@@ -39,6 +39,8 @@ __all__ = [
     "ShardCorruptError",
     "write_shards",
     "ShardedCTRDataset",
+    "ShardPartitionView",
+    "partition_shards",
 ]
 
 SHARD_FORMAT_VERSION = 1
@@ -336,7 +338,85 @@ class ShardedCTRDataset:
             labels=np.concatenate([a["labels"] for a in arrays]),
         )
 
+    def shard_rows(self) -> list[int]:
+        """Row count of every shard, from the index (no shard reads)."""
+        return [meta_rows(meta) for meta in self._shards]
+
 
 def meta_rows(meta: dict) -> int:
     """Row count recorded for one shard in the index."""
     return int(meta["rows"])
+
+
+def partition_shards(num_shards: int, world_size: int) -> list[list[int]]:
+    """Round-robin assignment of shard indices to ``world_size`` ranks.
+
+    The shard index is the partition key: rank ``r`` owns shards
+    ``r, r + world_size, r + 2*world_size, ...``.  The result is a disjoint
+    exact cover of ``range(num_shards)`` — every shard belongs to exactly one
+    rank — which is what makes data-parallel training over a shared shard
+    directory safe without any cross-process coordination.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    if world_size > num_shards:
+        raise ValueError(
+            f"world_size {world_size} exceeds num_shards {num_shards}: "
+            f"some ranks would own no data; reshard with a smaller "
+            f"shard_size or use fewer processes")
+    return [list(range(rank, num_shards, world_size))
+            for rank in range(world_size)]
+
+
+class ShardPartitionView:
+    """One rank's slice of a :class:`ShardedCTRDataset`: a subset of shards.
+
+    Exposes the same duck-typed surface the training loaders need —
+    ``__len__``, ``schema``, ``batch(indices)``, ``gather_batches`` — with
+    row indices local to the partition (``0 .. len(view)``), mapped to the
+    base dataset's global rows shard by shard.  The base dataset's LRU shard
+    cache is shared, so a process holding one partition only ever caches its
+    own shards.
+    """
+
+    def __init__(self, base: ShardedCTRDataset, shard_ids):
+        shard_ids = [int(i) for i in shard_ids]
+        if not shard_ids:
+            raise ValueError("a shard partition must hold at least one shard")
+        for i in shard_ids:
+            if not 0 <= i < base.num_shards:
+                raise ValueError(
+                    f"shard id {i} out of range (num_shards="
+                    f"{base.num_shards})")
+        if len(set(shard_ids)) != len(shard_ids):
+            raise ValueError(f"duplicate shard ids in partition: {shard_ids}")
+        self.base = base
+        self.shard_ids = shard_ids
+        self.schema = base.schema
+        rows = base.shard_rows()
+        # Local row -> global row, in partition order (shard by shard).
+        self._rows = np.concatenate([
+            np.arange(rows[i], dtype=np.int64) + int(base._offsets[i])
+            for i in shard_ids
+        ])
+
+    def __len__(self) -> int:
+        return int(self._rows.shape[0])
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_ids)
+
+    def bind_telemetry(self, registry=None, observers=None) -> None:
+        self.base.bind_telemetry(registry=registry, observers=observers)
+
+    def batch(self, indices: np.ndarray) -> Batch:
+        indices = np.asarray(indices, dtype=np.int64)
+        return self.base.batch(self._rows[indices])
+
+    def gather_batches(self, index_arrays: list[np.ndarray]) -> list[Batch]:
+        return self.base.gather_batches(
+            [self._rows[np.asarray(ix, dtype=np.int64)]
+             for ix in index_arrays])

@@ -27,6 +27,7 @@ from .events import (
     RunEndEvent,
     RunObserver,
     RunStartEvent,
+    DistSyncEvent,
     ShardLoadedEvent,
     StreamWindowEvent,
 )
@@ -74,7 +75,7 @@ __all__ = [
     "AnomalyDetectedEvent",
     "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
     "ModelSwappedEvent", "RequestShedEvent",
-    "ShardLoadedEvent",
+    "ShardLoadedEvent", "DistSyncEvent",
     "StreamWindowEvent", "DriftDetectedEvent", "PromotionEvent",
     "Counter", "Gauge", "EMAMeter", "StreamingHistogram",
     "FixedBucketHistogram", "MetricRegistry", "DEFAULT_LATENCY_BUCKETS_S",

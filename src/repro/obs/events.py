@@ -24,7 +24,7 @@ __all__ = [
     "AnomalyDetectedEvent",
     "RequestReceivedEvent", "BatchFlushedEvent", "RequestCompletedEvent",
     "ModelSwappedEvent", "RequestShedEvent",
-    "ShardLoadedEvent",
+    "ShardLoadedEvent", "DistSyncEvent",
     "StreamWindowEvent", "DriftDetectedEvent", "PromotionEvent",
     "RunObserver", "BaseObserver", "ObserverList", "CallbackObserver",
 ]
@@ -356,6 +356,31 @@ class ShardLoadedEvent:
 
 
 @dataclass
+class DistSyncEvent:
+    """Emitted by a data-parallel worker after each allreduce step.
+
+    ``wait_ms`` is the time the rank spent blocked on the gradient barrier
+    (straggler diagnosis: a rank with near-zero wait is the straggler);
+    ``loss`` is the *reduced* mean loss every rank agreed on for the step.
+    Each rank writes its own trace file, so records never interleave.
+    """
+
+    kind: ClassVar[str] = "dist_sync"
+
+    rank: int
+    world_size: int
+    step: int
+    epoch: int
+    wait_ms: float
+    loss: float
+
+    def payload(self) -> dict[str, Any]:
+        return {"rank": int(self.rank), "world_size": int(self.world_size),
+                "step": int(self.step), "epoch": int(self.epoch),
+                "wait_ms": float(self.wait_ms), "loss": float(self.loss)}
+
+
+@dataclass
 class StreamWindowEvent:
     """Emitted once per processed stream window (online-learning loop).
 
@@ -506,6 +531,9 @@ class BaseObserver:
     def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
         pass
 
+    def on_dist_sync(self, event: DistSyncEvent) -> None:
+        pass
+
     def on_stream_window(self, event: StreamWindowEvent) -> None:
         pass
 
@@ -636,6 +664,13 @@ class ObserverList(BaseObserver):
     def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
         for obs in self.observers:
             hook = getattr(obs, "on_shard_loaded", None)
+            if hook is not None:
+                hook(event)
+
+    # Distributed-training hook (additive, schema v1).
+    def on_dist_sync(self, event: DistSyncEvent) -> None:
+        for obs in self.observers:
+            hook = getattr(obs, "on_dist_sync", None)
             if hook is not None:
                 hook(event)
 

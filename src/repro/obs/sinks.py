@@ -27,6 +27,7 @@ from .events import (
     RequestShedEvent,
     RunEndEvent,
     RunStartEvent,
+    DistSyncEvent,
     ShardLoadedEvent,
     StreamWindowEvent,
 )
@@ -119,6 +120,9 @@ class JsonlTraceWriter(BaseObserver):
         self._write(event.kind, event.payload())
 
     def on_shard_loaded(self, event: ShardLoadedEvent) -> None:
+        self._write(event.kind, event.payload())
+
+    def on_dist_sync(self, event: DistSyncEvent) -> None:
         self._write(event.kind, event.payload())
 
     def on_stream_window(self, event: StreamWindowEvent) -> None:

@@ -255,6 +255,25 @@ class CheckpointStore:
             completed=bool(meta.get("completed", False)),
         )
 
+    def load_step(self, step: int) -> RunCheckpoint:
+        """Load (and fully verify) the checkpoint written at exactly ``step``.
+
+        Distributed resume needs this: every rank must restore the *same
+        committed* global step named by the rank-0 manifest, not whatever
+        its own newest file happens to be — a rank that checkpointed one
+        step further before the crash would otherwise silently diverge.
+        """
+        _, manifest_path = self._paths(step)
+        if not manifest_path.exists():
+            raise CheckpointCorruptError(
+                f"{self.directory}: no checkpoint manifest for step {step} "
+                f"({manifest_path.name} missing)")
+        return self.load(manifest_path)
+
+    def has_step(self, step: int) -> bool:
+        """Whether a committed manifest exists for ``step`` (no validation)."""
+        return self._paths(step)[1].exists()
+
     def load_latest(self) -> tuple[RunCheckpoint | None, Path | None,
                                    list[tuple[Path, str]]]:
         """Newest valid checkpoint, skipping corrupt ones.

@@ -73,7 +73,8 @@ from ..resilience import (
 )
 from .metrics import EvalResult, auc_score, logloss_score
 
-__all__ = ["TrainConfig", "TrainResult", "Trainer", "evaluate"]
+__all__ = ["TrainConfig", "TrainResult", "Trainer", "evaluate",
+           "improvement"]
 
 BatchCallback = Callable[[CTRModel, Batch, int], None]
 
@@ -155,6 +156,16 @@ def evaluate(model: CTRModel, dataset: CTRDataset, batch_size: int = 512) -> Eva
         model.train()
     return EvalResult(auc=auc_score(dataset.labels, probs),
                       logloss=logloss_score(dataset.labels, probs))
+
+
+def improvement(auc: float, best_auc: float) -> bool:
+    """Validation-selection rule shared by :class:`Trainer` and
+    :mod:`repro.distributed`: an epoch improves only on a *finite* AUC
+    strictly above the best so far.  NaN must not silently win (``NaN > x``
+    is ``False`` for every ``x``), so a NaN epoch counts as non-improving
+    and the all-NaN case is rejected explicitly after the loop.
+    """
+    return bool(np.isfinite(auc) and auc > best_auc)
 
 
 class _RunState:
@@ -371,10 +382,7 @@ class Trainer:
                     logloss=result.logloss, train_loss=state.losses[-1],
                     loss_components=means))
 
-            # NaN validation AUC must not silently win (NaN > x is False for
-            # every x); it counts as a non-improving epoch here and the
-            # all-NaN case is rejected explicitly after the loop.
-            improved = np.isfinite(result.auc) and result.auc > state.best_auc
+            improved = improvement(result.auc, state.best_auc)
             if improved:
                 state.best_auc = result.auc
                 state.best_state = model.state_dict()

@@ -1,5 +1,9 @@
 """Tests for the benchmark harness: rendering, factories, and caching."""
 
+import json
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -84,3 +88,119 @@ class TestRendering:
         assert lines[0] == "F"
         assert "0.1000" in text and "0.4000" in text
         assert len([ln for ln in lines if ln.startswith(("1", "2"))]) == 2
+
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+import check_bench  # noqa: E402
+
+
+def _dist_report(rates=(1000.0, 2600.0, 2500.0), failed=(0, 0, 0),
+                 identical=True, divergence=0.0, bit_identity=True):
+    results = []
+    single = rates[0]
+    for procs, rate, fr in zip((1, 2, 4), rates, failed):
+        results.append({"num_procs": procs, "rows_per_s": rate,
+                        "rows_per_epoch": 8192, "epoch_s": 8192 / rate,
+                        "speedup_vs_single": rate / single,
+                        "steps_per_epoch": 64, "failed_ranks": fr})
+    report = {"benchmark": "distributed", "results": results}
+    if bit_identity:
+        report["bit_identity"] = {
+            "steps": 64,
+            "loss_trajectory_identical": identical,
+            "max_param_divergence": divergence,
+        }
+    return report
+
+
+class TestCheckBenchDistributed:
+    """The bench-guard gate for the distributed bench, fed doctored reports.
+
+    Every doctored regression must trip exactly the metric it targets —
+    these are the CI tripwires that keep the scaling number and the
+    determinism contract honest.
+    """
+
+    def _failing(self, rows):
+        return {r["metric"] for r in rows if not r["ok"]}
+
+    def test_clean_report_passes(self):
+        rows = check_bench.check_distributed(_dist_report(), _dist_report())
+        assert rows and all(r["ok"] for r in rows)
+
+    def test_committed_baseline_self_checks(self):
+        path = REPO_ROOT / "BENCH_distributed.json"
+        report = json.loads(path.read_text())
+        rows = check_bench.check_distributed(report, report)
+        assert all(r["ok"] for r in rows)
+        # acceptance: the committed 2-worker scaling clears 1.6x
+        w2 = next(r for r in rows
+                  if r["metric"] == "distributed.scaling_w2")
+        assert w2["candidate"] >= 1.6
+
+    def test_doctored_two_worker_rate_regresses(self):
+        slow = _dist_report(rates=(1000.0, 1050.0, 2500.0))
+        rows = check_bench.check_distributed(_dist_report(), slow)
+        failing = self._failing(rows)
+        assert "distributed.scaling_w2" in failing
+
+    def test_w2_hard_floor_binds_even_with_loose_tolerance(self):
+        slow = _dist_report(rates=(1000.0, 1100.0, 2500.0))
+        rows = check_bench.check_distributed(_dist_report(), slow,
+                                             tolerance=0.99)
+        w2 = next(r for r in rows
+                  if r["metric"] == "distributed.scaling_w2")
+        assert w2["allowed"] == check_bench.DIST_W2_FLOOR
+        assert not w2["ok"]
+
+    def test_stale_speedup_field_cannot_mask_doctored_rate(self):
+        doctored = _dist_report(rates=(1000.0, 1050.0, 2500.0))
+        for row in doctored["results"]:
+            row["speedup_vs_single"] = 2.6  # lie left behind by an edit
+        rows = check_bench.check_distributed(_dist_report(), doctored)
+        assert "distributed.scaling_w2" in self._failing(rows)
+
+    def test_failed_rank_fails(self):
+        rows = check_bench.check_distributed(
+            _dist_report(), _dist_report(failed=(0, 1, 0)))
+        assert self._failing(rows) == {"distributed.failed_ranks_w2"}
+
+    def test_loss_divergence_fails_without_tolerance(self):
+        rows = check_bench.check_distributed(
+            _dist_report(), _dist_report(identical=False))
+        assert "distributed.loss_trajectory_identical" in self._failing(rows)
+
+    def test_any_param_divergence_fails(self):
+        rows = check_bench.check_distributed(
+            _dist_report(), _dist_report(divergence=1e-17))
+        assert "distributed.max_param_divergence" in self._failing(rows)
+
+    def test_missing_bit_identity_block_fails(self):
+        rows = check_bench.check_distributed(
+            _dist_report(), _dist_report(bit_identity=False))
+        assert "distributed.loss_trajectory_identical" in self._failing(rows)
+
+    def test_missing_worker_count_fails(self):
+        candidate = _dist_report()
+        candidate["results"] = [r for r in candidate["results"]
+                                if r["num_procs"] != 4]
+        rows = check_bench.check_distributed(_dist_report(), candidate)
+        assert "distributed.scaling_w4" in self._failing(rows)
+
+    def test_report_without_single_proc_row_is_malformed(self):
+        candidate = _dist_report()
+        candidate["results"] = [r for r in candidate["results"]
+                                if r["num_procs"] != 1]
+        with pytest.raises(SystemExit) as excinfo:
+            check_bench.check_distributed(_dist_report(), candidate)
+        assert excinfo.value.code == 2
+
+    def test_dispatch_routes_distributed_kind(self, tmp_path):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        base.write_text(json.dumps(_dist_report()))
+        cand.write_text(json.dumps(_dist_report()))
+        exit_code = check_bench.main(
+            ["--baseline-distributed", str(base), "--candidate", str(cand)])
+        assert exit_code == 0

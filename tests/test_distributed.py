@@ -1,0 +1,390 @@
+"""Tests for repro.distributed: partitioning, shared-memory transport, the
+fold-tree collective, optimizer state round-trips, and the determinism
+contract (process mode == emulation, bit for bit)."""
+
+import argparse
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import _train_distributed
+from repro.data import InterestWorld, InterestWorldConfig, build_ctr_data
+from repro.data.pipeline import (
+    ShardPartitionView,
+    ShardedCTRDataset,
+    partition_shards,
+)
+from repro.distributed import (
+    DistSpec,
+    DistributedRunError,
+    FlatLayout,
+    SharedArena,
+    apply_update,
+    pairwise_fold,
+    prepare_dist_data,
+    rank_rng,
+    reduce_mean,
+    run_distributed,
+    run_emulated,
+    steps_per_epoch,
+)
+from repro.models import create_model
+from repro.nn import SGD, Adam
+from repro.nn.backend import get_backend
+from repro.obs import DistSyncEvent, ObserverList
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: a small on-disk sharded world
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def data():
+    config = InterestWorldConfig(num_users=60, num_items=90, num_topics=6,
+                                 num_categories=3, min_interactions=3, seed=5)
+    return build_ctr_data(InterestWorld(config), max_seq_len=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def shard_dirs(data, tmp_path_factory):
+    base = tmp_path_factory.mktemp("dist-data")
+    return prepare_dist_data(data.train, data.validation, base,
+                             shard_size=max(8, len(data.train) // 8))
+
+
+def make_spec(shard_dirs, **overrides):
+    train_dir, val_dir = shard_dirs
+    kwargs = dict(
+        model_name="DIN", miss=None, model_seed=1,
+        backend=get_backend().name,
+        train_dir=str(train_dir), val_dir=str(val_dir),
+        config=dict(epochs=1, batch_size=8, eval_batch_size=128,
+                    learning_rate=1e-2, weight_decay=1e-5, patience=3,
+                    grad_clip=10.0, seed=0),
+        world_size=2, cache_shards=4,
+        checkpoint_dir=None, checkpoint_every=None,
+        barrier_timeout_s=60.0)
+    kwargs.update(overrides)
+    return DistSpec(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Shard partitioning
+# ---------------------------------------------------------------------------
+class TestPartitioning:
+    @settings(max_examples=60, deadline=None)
+    @given(num_shards=st.integers(1, 48), world_size=st.integers(1, 48))
+    def test_disjoint_exact_cover(self, num_shards, world_size):
+        if world_size > num_shards:
+            with pytest.raises(ValueError):
+                partition_shards(num_shards, world_size)
+            return
+        parts = partition_shards(num_shards, world_size)
+        assert len(parts) == world_size
+        assert all(part for part in parts)  # no rank left empty
+        flat = [i for part in parts for i in part]
+        assert sorted(flat) == list(range(num_shards))  # disjoint, exact
+
+    def test_round_robin_balance(self):
+        parts = partition_shards(10, 3)
+        sizes = sorted(len(p) for p in parts)
+        assert sizes == [3, 3, 4]
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            partition_shards(0, 1)
+        with pytest.raises(ValueError):
+            partition_shards(4, 0)
+
+    def test_view_matches_base_rows(self, data, shard_dirs):
+        train_dir, _ = shard_dirs
+        base = ShardedCTRDataset(train_dir)
+        view = ShardPartitionView(base, partition_shards(base.num_shards, 2)[1])
+        rows = base.shard_rows()
+        owned = partition_shards(base.num_shards, 2)[1]
+        assert len(view) == sum(rows[i] for i in owned)
+        assert view.schema == base.schema
+        batch = view.batch(np.arange(min(4, len(view))))
+        offsets = np.cumsum([0] + rows)
+        base_batch = base.batch(offsets[owned[0]] + np.arange(len(batch)))
+        np.testing.assert_array_equal(batch.labels, base_batch.labels)
+        np.testing.assert_array_equal(batch.categorical,
+                                      base_batch.categorical)
+
+    def test_view_rejects_bad_shard_ids(self, shard_dirs):
+        train_dir, _ = shard_dirs
+        base = ShardedCTRDataset(train_dir)
+        with pytest.raises(ValueError):
+            ShardPartitionView(base, [])
+        with pytest.raises(ValueError):
+            ShardPartitionView(base, [0, 0])
+        with pytest.raises(ValueError):
+            ShardPartitionView(base, [base.num_shards])
+
+    def test_steps_per_epoch_is_lockstep_minimum(self):
+        assert steps_per_epoch([100, 64, 80], 16) == 4
+        with pytest.raises(ValueError):
+            steps_per_epoch([100, 10], 16)
+        with pytest.raises(ValueError):
+            steps_per_epoch([100], 0)
+
+
+# ---------------------------------------------------------------------------
+# Fold-tree collective
+# ---------------------------------------------------------------------------
+class TestCollective:
+    def test_fold_is_fixed_balanced_tree(self):
+        a, b, c, d, e = (np.float64(x) for x in (0.1, 0.2, 0.3, 0.4, 0.5))
+        assert pairwise_fold([a, b, c]) == (a + b) + c
+        assert pairwise_fold([a, b, c, d, e]) == ((a + b) + (c + d)) + e
+
+    def test_fold_never_mutates_and_copies_singletons(self):
+        parts = [np.ones(3), np.full(3, 2.0)]
+        out = pairwise_fold(parts)
+        np.testing.assert_array_equal(parts[0], np.ones(3))
+        out[0] = -1.0
+        np.testing.assert_array_equal(parts[0], np.ones(3))
+        single = np.ones(4)
+        folded = pairwise_fold([single])
+        folded *= 5.0
+        np.testing.assert_array_equal(single, np.ones(4))
+
+    def test_fold_rejects_empty(self):
+        with pytest.raises(ValueError):
+            pairwise_fold([])
+
+    def test_reduce_mean_matches_fold(self):
+        parts = [np.arange(4.0), np.arange(4.0) * 2, np.arange(4.0) * 3]
+        np.testing.assert_array_equal(reduce_mean(parts),
+                                      pairwise_fold(parts) / 3)
+
+    def test_rank_rng_deterministic_and_distinct(self):
+        a1 = rank_rng(7, 0).random(4)
+        a2 = rank_rng(7, 0).random(4)
+        b = rank_rng(7, 1).random(4)
+        np.testing.assert_array_equal(a1, a2)
+        assert not np.array_equal(a1, b)
+
+
+# ---------------------------------------------------------------------------
+# FlatLayout + SharedArena transport
+# ---------------------------------------------------------------------------
+class TestTransport:
+    def _model(self, data):
+        return create_model("DIN", data.schema, seed=3)
+
+    def test_pack_unpack_params_round_trip(self, data, tmp_path):
+        model = self._model(data)
+        params = model.parameters()
+        layout = FlatLayout.from_parameters(model.named_parameters())
+        arena = SharedArena.create(tmp_path, world_size=2,
+                                   param_size=layout.size)
+        layout.pack_params(params, arena.params)
+        other = self._model(data)
+        for p in other.parameters():
+            p.data[...] = 0.0
+        layout.unpack_params(arena.params, other.parameters())
+        for mine, theirs in zip(params, other.parameters()):
+            np.testing.assert_array_equal(mine.data, theirs.data)
+
+    def test_pack_grads_none_becomes_zero(self, data, tmp_path):
+        model = self._model(data)
+        params = model.parameters()
+        layout = FlatLayout.from_parameters(model.named_parameters())
+        arena = SharedArena.create(tmp_path, world_size=1,
+                                   param_size=layout.size)
+        params[0].grad = np.ones_like(params[0].data)
+        layout.pack_grads(params, arena.grad_slot(0))
+        n0 = params[0].data.size
+        np.testing.assert_array_equal(arena.grad_slot(0)[:n0], 1.0)
+        np.testing.assert_array_equal(arena.grad_slot(0)[n0:], 0.0)
+
+    def test_layout_rejects_wrong_buffer(self, data):
+        model = self._model(data)
+        layout = FlatLayout.from_parameters(model.named_parameters())
+        with pytest.raises(ValueError):
+            layout.pack_params(model.parameters(),
+                               np.zeros(layout.size, dtype=np.float32))
+        with pytest.raises(ValueError):
+            layout.pack_params(model.parameters(),
+                               np.zeros(layout.size + 1))
+
+    def test_arena_attach_shares_memory(self, tmp_path):
+        arena = SharedArena.create(tmp_path, world_size=2, param_size=8)
+        twin = SharedArena.attach(arena.spec())
+        arena.params[...] = np.arange(8.0)
+        np.testing.assert_array_equal(twin.params, np.arange(8.0))
+        twin.losses[1] = 0.25
+        assert arena.losses[1] == 0.25
+
+    @pytest.mark.parametrize("optimizer_cls", [SGD, Adam])
+    def test_optimizer_state_round_trips_through_buffers(
+            self, data, tmp_path, optimizer_cls):
+        # The resume contract: optimizer moments that crossed a float64
+        # memmap must continue the trajectory bitwise.
+        model = self._model(data)
+        params = model.parameters()
+        layout = FlatLayout.from_parameters(model.named_parameters())
+        optimizer = optimizer_cls(params, lr=1e-2, weight_decay=1e-5)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            for p in params:
+                p.grad = rng.standard_normal(p.data.shape)
+            optimizer.step()
+        state = optimizer.state_dict()
+        buffered = {}
+        for key, array in state["arrays"].items():
+            slab = np.memmap(tmp_path / f"{key.replace('.', '_')}.buf",
+                             dtype=np.float64, mode="w+",
+                             shape=np.asarray(array).shape)
+            slab[...] = array
+            buffered[key] = np.asarray(slab).copy()
+        restored = {**state, "arrays": buffered}
+        twin = self._model(data)
+        twin.load_state_dict(model.state_dict())
+        twin_opt = optimizer_cls(twin.parameters(), lr=1e-2,
+                                 weight_decay=1e-5)
+        twin_opt.load_state_dict(restored)
+        grads = [rng.standard_normal(p.data.shape) for p in params]
+        for p, q, g in zip(params, twin.parameters(), grads):
+            p.grad = g.copy()
+            q.grad = g.copy()
+        optimizer.step()
+        twin_opt.step()
+        for p, q in zip(params, twin.parameters()):
+            np.testing.assert_array_equal(p.data, q.data)
+
+    def test_apply_update_equals_inline_sequence(self, data):
+        # apply_update(folded slots) == zero_grad/backward-free reference:
+        # scatter the same mean gradient and step.
+        model = self._model(data)
+        params = model.parameters()
+        layout = FlatLayout.from_parameters(model.named_parameters())
+        rng = np.random.default_rng(1)
+        slots = [rng.standard_normal(layout.size) for _ in range(3)]
+        twin = self._model(data)
+        twin.load_state_dict(model.state_dict())
+        opt_a = Adam(params, lr=1e-2, weight_decay=1e-5)
+        opt_b = Adam(twin.parameters(), lr=1e-2, weight_decay=1e-5)
+        apply_update(opt_a, layout, slots, grad_clip=10.0)
+        from repro.nn import clip_grad_norm
+        layout.scatter_grads(reduce_mean(slots), twin.parameters())
+        clip_grad_norm(twin.parameters(), 10.0)
+        opt_b.step()
+        for p, q in zip(params, twin.parameters()):
+            np.testing.assert_array_equal(p.data, q.data)
+
+
+# ---------------------------------------------------------------------------
+# Events
+# ---------------------------------------------------------------------------
+class TestDistSyncEvent:
+    def test_payload_is_json_safe_and_fans_out(self):
+        event = DistSyncEvent(rank=1, world_size=2, step=3, epoch=0,
+                              wait_ms=1.25, loss=np.float64(0.5))
+        payload = event.payload()
+        json.dumps(payload)
+        assert payload["rank"] == 1 and payload["loss"] == 0.5
+
+        seen = []
+
+        class Sink:
+            def on_dist_sync(self, event):
+                seen.append(event)
+
+        ObserverList.build([Sink()], None).on_dist_sync(event)
+        assert seen == [event]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end determinism (the tentpole contract)
+# ---------------------------------------------------------------------------
+class TestEndToEnd:
+    def test_emulation_runs_and_reports(self, shard_dirs):
+        payload = run_emulated(make_spec(shard_dirs))
+        assert payload["completed"] and payload["mode"] == "emulated"
+        assert payload["steps"] == payload["steps_per_epoch"]
+        assert len(payload["step_losses"]) == payload["steps"]
+        assert all(np.isfinite(v) for v in payload["step_losses"])
+
+    def test_emulation_rejects_resume_and_chaos(self, shard_dirs):
+        with pytest.raises(ValueError):
+            run_emulated(make_spec(shard_dirs, resume_step=5,
+                                   checkpoint_dir="/tmp/nope"))
+        with pytest.raises(ValueError):
+            run_emulated(make_spec(shard_dirs, fail_at=(0, 1)))
+
+    def test_world_size_must_not_exceed_shards(self, shard_dirs):
+        with pytest.raises(ValueError):
+            run_emulated(make_spec(shard_dirs, world_size=64))
+
+    def test_process_mode_matches_emulation_bitwise(self, shard_dirs):
+        spec = make_spec(shard_dirs)
+        emulated = run_distributed(spec, emulate=True)
+        process = run_distributed(spec)
+        assert process.step_losses == emulated.step_losses
+        assert sorted(process.final_state) == sorted(emulated.final_state)
+        for key in process.final_state:
+            np.testing.assert_array_equal(process.final_state[key],
+                                          emulated.final_state[key])
+        # per-rank telemetry made it back to the parent
+        assert process.metrics["dist.rank.0.steps"]["value"] == process.steps
+        assert process.metrics["dist.rank.1.steps"]["value"] == process.steps
+
+    @pytest.mark.slow
+    def test_sigkill_then_resume_is_bit_identical(self, shard_dirs, tmp_path):
+        clean = run_distributed(make_spec(shard_dirs))
+        ckdir = tmp_path / "ck"
+        chaos = make_spec(shard_dirs, checkpoint_dir=str(ckdir),
+                          checkpoint_every=3,
+                          fail_at=(1, max(2, clean.steps // 2)))
+        with pytest.raises(DistributedRunError) as excinfo:
+            run_distributed(chaos)
+        assert 1 in excinfo.value.failed_ranks
+        resumed = run_distributed(
+            make_spec(shard_dirs, checkpoint_dir=str(ckdir),
+                      checkpoint_every=3), resume=True)
+        assert resumed.step_losses == clean.step_losses
+        for key in clean.final_state:
+            np.testing.assert_array_equal(resumed.final_state[key],
+                                          clean.final_state[key])
+        again = run_distributed(
+            make_spec(shard_dirs, checkpoint_dir=str(ckdir),
+                      checkpoint_every=3), resume=True)
+        assert again.mode == "resumed-complete"
+
+
+# ---------------------------------------------------------------------------
+# CLI flag validation (no training is reached)
+# ---------------------------------------------------------------------------
+class TestCliValidation:
+    def _args(self, **overrides):
+        ns = argparse.Namespace(
+            num_procs=2, dist_emulate=False, anomaly_guard=False,
+            num_workers=0, resume=False, checkpoint_dir=None,
+            shard_dir=None, miss=False, model="DIN", seed=0, epochs=1,
+            learning_rate=1e-2, batch_size=128, eval_batch_size=128, alpha=1.0,
+            temperature=0.1, checkpoint_every=200, keep_checkpoints=3,
+            log_jsonl=None, dataset="amazon-cds")
+        vars(ns).update(overrides)
+        return ns
+
+    def test_rejects_anomaly_guard(self):
+        with pytest.raises(SystemExit):
+            _train_distributed(self._args(anomaly_guard=True), data=None)
+
+    def test_rejects_prefetch_workers(self):
+        with pytest.raises(SystemExit):
+            _train_distributed(self._args(num_workers=2), data=None)
+
+    def test_rejects_emulate_with_checkpoints(self):
+        with pytest.raises(SystemExit):
+            _train_distributed(
+                self._args(dist_emulate=True, checkpoint_dir="/tmp/x"),
+                data=None)
+
+    def test_rejects_nonpositive_procs(self):
+        with pytest.raises(SystemExit):
+            _train_distributed(self._args(num_procs=0), data=None)
